@@ -1,0 +1,350 @@
+// Ablations for the design choices the paper fixes by simulation (not a
+// paper figure): the metadata validity threshold P_thld, the effective
+// angle theta, the gateway fraction, and sensor noise on the metadata.
+// OurScheme on the scaled MIT-like trace.
+#include <iostream>
+#include <unordered_map>
+
+#include "bench_common.h"
+#include "geometry/angle.h"
+#include "schemes/factory.h"
+#include "sim/experiment.h"
+#include "util/table.h"
+#include "workload/poi_gen.h"
+
+using namespace photodtn;
+
+namespace {
+
+ExperimentResult run_with(const bench::BenchOptions& opts, const ScenarioConfig& scenario) {
+  ExperimentSpec spec;
+  spec.scenario = scenario;
+  spec.scheme = "OurScheme";
+  spec.runs = opts.runs;
+  return run_experiment(spec);
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchOptions opts = bench::options();
+  const ScenarioConfig base = bench::scaled_mit(opts);
+  bench::print_header("Ablations (OurScheme, MIT-like trace)",
+                      "Design knobs: P_thld, effective angle, gateways, sensor noise",
+                      base, opts);
+
+  // Contention-heavy variant for the knobs whose effect only shows when
+  // storage/bandwidth actually bind (more photos, half the storage): with
+  // slack resources every relevant photo is kept and third-party metadata
+  // cannot change any greedy decision.
+  ScenarioConfig contended = base;
+  contended.photo_rate_per_hour *= 3.0;
+  contended.sim.node_storage_bytes /= 2;
+
+  {
+    // P_thld sweep: the paper picks 0.8 by simulation. Low thresholds expire
+    // third-party metadata aggressively; 1.0 never expires it (stale views).
+    // Note the command-center acknowledgment entry is valid at *any*
+    // threshold, and it is the dominant effect — expect modest deltas here.
+    Table t({"P_thld", "final point", "final aspect (rad)", "delivered"});
+    for (const double p : {0.2, 0.5, 0.8, 0.95, 1.0}) {
+      ScenarioConfig sc = contended;
+      sc.p_thld = p;
+      const ExperimentResult r = run_with(opts, sc);
+      t.add_row({p, r.final_point.mean(), r.final_aspect.mean(),
+                 r.final_delivered.mean()});
+    }
+    std::cout << "\nAblation A: metadata validity threshold P_thld (paper uses 0.8;\n"
+                 "contention-heavy config — 3x photos, half storage):\n";
+    bench::emit(t, opts, "ablation_pthld");
+  }
+
+  {
+    // Effective angle theta: wider theta counts a single photo as covering
+    // more aspects — raw aspect radians rise, but the per-view information
+    // is coarser. Table I uses 30 degrees.
+    Table t({"theta(deg)", "final point", "final aspect (rad)", "aspect/2theta",
+             "full-view frac"});
+    for (const double deg : {15.0, 30.0, 45.0, 60.0}) {
+      ScenarioConfig sc = base;
+      sc.effective_angle = deg_to_rad(deg);
+      const ExperimentResult r = run_with(opts, sc);
+      t.add_row({deg, r.final_point.mean(), r.final_aspect.mean(),
+                 r.final_aspect.mean() / (2.0 * deg_to_rad(deg)),
+                 r.final_full_view.mean()});
+    }
+    std::cout << "\nAblation B: effective angle theta (paper uses 30 deg):\n";
+    bench::emit(t, opts, "ablation_theta");
+  }
+
+  {
+    // Gateway fraction: Section V-A assumes ~2% of participants can reach
+    // the command center.
+    Table t({"gateway fraction", "final point", "final aspect (rad)", "delivered"});
+    for (const double f : {0.02, 0.05, 0.10, 0.20}) {
+      ScenarioConfig sc = base;
+      sc.trace.gateway_fraction = f;
+      const ExperimentResult r = run_with(opts, sc);
+      t.add_row({f, r.final_point.mean(), r.final_aspect.mean(),
+                 r.final_delivered.mean()});
+    }
+    std::cout << "\nAblation C: fraction of gateway participants (paper ~2%):\n";
+    bench::emit(t, opts, "ablation_gateways");
+  }
+
+  {
+    // Sensor noise: metadata is measured, not exact (Section IV-A: GPS
+    // 5-8.5 m, orientation <= 5 deg after fusion). The system selects and
+    // routes photos by the *measured* metadata, but the information value
+    // the center actually obtains depends on what the photos *really* show
+    // — so the delivered set is re-scored against the noise-free ground
+    // truth. (Scoring on measured metadata would let noise inflate claimed
+    // coverage.)
+    Table t({"sensor noise", "claimed point", "claimed aspect", "true point",
+             "true aspect"});
+    struct NoiseCase {
+      std::string label;
+      std::optional<SensorNoise> noise;
+    };
+    SensorNoise prototype;  // defaults reproduce the prototype's error band
+    SensorNoise coarse;
+    coarse.gps_sigma_m = 15.0;
+    coarse.orientation_max_err_rad = deg_to_rad(20.0);
+    for (const NoiseCase& c :
+         {NoiseCase{"none (ground truth)", std::nullopt},
+          NoiseCase{"prototype (4m GPS, 5deg)", prototype},
+          NoiseCase{"coarse (15m GPS, 20deg)", coarse}}) {
+      RunningStats claimed_pt, claimed_as, true_pt, true_as;
+      for (std::size_t run = 0; run < opts.runs; ++run) {
+        const std::uint64_t seed = 1 + run;
+        Rng root(seed);
+        Rng poi_rng = root.split("pois");
+        Rng photo_rng = root.split("photos");
+        const PoiList pois = generate_uniform_pois(base.num_pois, base.region_m, poi_rng);
+        const CoverageModel model(pois, base.effective_angle);
+        SyntheticTraceConfig tc = base.trace;
+        tc.seed = seed ^ 0x7ace5eedULL;
+        const ContactTrace trace = generate_synthetic_trace(tc);
+        PhotoGenOptions po;
+        po.sensor_noise = c.noise;
+        PhotoGenerator gen(base, pois, po);
+        std::vector<PhotoEvent> events =
+            gen.generate(trace.horizon(), tc.num_participants, photo_rng);
+        // Keep the measured metadata by id so delivered ids can be mapped.
+        std::unordered_map<PhotoId, PhotoMeta> measured;
+        for (const auto& e : events) measured.emplace(e.photo.id, e.photo);
+
+        auto scheme = make_scheme("OurScheme");
+        SimConfig sim_cfg = base.sim;
+        sim_cfg.seed = seed ^ 0x51eedbeefULL;
+        Simulator sim(model, trace, std::move(events), sim_cfg);
+        const SimResult r = sim.run(*scheme);
+        claimed_pt.add(r.final_point_norm);
+        claimed_as.add(r.final_aspect_norm);
+
+        CoverageMap truth_map(model);
+        for (const PhotoId id : r.delivered_ids) {
+          const auto it = gen.ground_truth().find(id);
+          const PhotoMeta& meta =
+              it != gen.ground_truth().end() ? it->second : measured.at(id);
+          truth_map.add(model.footprint(meta));
+        }
+        true_pt.add(truth_map.normalized_point());
+        true_as.add(truth_map.normalized_aspect());
+      }
+      t.add_row({c.label, claimed_pt.mean(), claimed_as.mean(), true_pt.mean(),
+                 true_as.mean()});
+    }
+    std::cout << "\nAblation D: sensor error on metadata (Section IV-A error band;\n"
+                 "claimed = coverage by measured metadata, true = by ground truth):\n";
+    bench::emit(t, opts, "ablation_noise");
+  }
+
+  {
+    // Quality gate (Section II-C discussion): with 30% of photos blurred,
+    // routing them wastes resources unless the binary threshold filters
+    // them out of the coverage model up front. "True" columns score the
+    // delivered photos counting only sharp (quality >= 0.5) ones.
+    Table t({"quality gate", "claimed point", "true point", "true aspect"});
+    for (const bool gated : {false, true}) {
+      RunningStats claimed_pt, true_pt, true_as;
+      for (std::size_t run = 0; run < opts.runs; ++run) {
+        const std::uint64_t seed = 1 + run;
+        Rng root(seed);
+        Rng poi_rng = root.split("pois");
+        Rng photo_rng = root.split("photos");
+        const PoiList pois = generate_uniform_pois(base.num_pois, base.region_m, poi_rng);
+        CoverageModel model(pois, base.effective_angle);
+        if (gated) model.set_quality_threshold(0.5);
+        SyntheticTraceConfig tc = base.trace;
+        tc.seed = seed ^ 0x7ace5eedULL;
+        const ContactTrace trace = generate_synthetic_trace(tc);
+        PhotoGenOptions po;
+        po.low_quality_fraction = 0.3;
+        PhotoGenerator gen(base, pois, po);
+        std::vector<PhotoEvent> events =
+            gen.generate(trace.horizon(), tc.num_participants, photo_rng);
+        std::unordered_map<PhotoId, PhotoMeta> by_id;
+        for (const auto& e : events) by_id.emplace(e.photo.id, e.photo);
+        auto scheme = make_scheme("OurScheme");
+        SimConfig sim_cfg = base.sim;
+        sim_cfg.seed = seed ^ 0x51eedbeefULL;
+        Simulator sim(model, trace, std::move(events), sim_cfg);
+        const SimResult r = sim.run(*scheme);
+        claimed_pt.add(r.final_point_norm);
+        // True coverage: only sharp delivered photos actually inform.
+        CoverageModel truth_model(pois, base.effective_angle);
+        truth_model.set_quality_threshold(0.5);
+        CoverageMap truth(truth_model);
+        for (const PhotoId id : r.delivered_ids)
+          truth.add(truth_model.footprint(by_id.at(id)));
+        true_pt.add(truth.normalized_point());
+        true_as.add(truth.normalized_aspect());
+      }
+      t.add_row({std::string(gated ? "threshold 0.5" : "off (paper default)"),
+                 claimed_pt.mean(), true_pt.mean(), true_as.mean()});
+    }
+    std::cout << "\nAblation E: binary quality gate with 30% blurred photos:\n";
+    bench::emit(t, opts, "ablation_quality");
+  }
+
+  {
+    // Aspect-weight profiles (Section II-C: weighting a building's main
+    // entrance). Every PoI gets a 90-degree "entrance" band worth 4x. The
+    // metric of interest: how much of the *entrance-weighted* aspect value
+    // each scheme collects.
+    Table t({"scheme", "weighted aspect collected", "entrance share (%)"});
+    for (const std::string& name : {std::string("OurScheme"), std::string("ModifiedSpray")}) {
+      RunningStats collected, entrance_share;
+      for (std::size_t run = 0; run < opts.runs; ++run) {
+        const std::uint64_t seed = 1 + run;
+        Rng root(seed);
+        Rng poi_rng = root.split("pois");
+        Rng photo_rng = root.split("photos");
+        PoiList pois = generate_uniform_pois(base.num_pois, base.region_m, poi_rng);
+        Rng dir_rng = root.split("entrances");
+        std::vector<Arc> entrances(pois.size());
+        for (std::size_t i = 0; i < pois.size(); ++i) {
+          auto profile = std::make_shared<AspectProfile>();
+          entrances[i] = Arc::centered(dir_rng.uniform(0.0, kTwoPi), deg_to_rad(45.0));
+          profile->set_band(entrances[i], 4.0);
+          pois[i].aspect_profile = std::move(profile);
+        }
+        const CoverageModel model(pois, base.effective_angle);
+        SyntheticTraceConfig tc = base.trace;
+        tc.seed = seed ^ 0x7ace5eedULL;
+        const ContactTrace trace = generate_synthetic_trace(tc);
+        PhotoGenerator gen(base, pois);
+        std::vector<PhotoEvent> events =
+            gen.generate(trace.horizon(), tc.num_participants, photo_rng);
+        auto scheme = make_scheme(name);
+        SimConfig sim_cfg = base.sim;
+        sim_cfg.seed = seed ^ 0x51eedbeefULL;
+        Simulator sim(model, trace, std::move(events), sim_cfg);
+        const SimResult r = sim.run(*scheme);
+        collected.add(r.final_aspect_norm);
+        // Of the covered aspect mass, how much lies inside entrance bands?
+        double entrance_mass = 0.0, total_mass = 0.0;
+        const CoverageMap& cc = sim.command_center_coverage();
+        for (std::size_t i = 0; i < pois.size(); ++i) {
+          const ArcSet& arcs = cc.poi_arcs(i);
+          total_mass += profile_measure(pois[i].profile(), arcs);
+          ArcSet entrance_only;
+          entrance_only.add(entrances[i]);
+          const double plain = arcs.measure();
+          ArcSet merged = arcs;
+          merged.unite(entrance_only);
+          // covered ∩ entrance = covered + entrance − covered∪entrance.
+          const double inter =
+              plain + entrance_only.measure() - merged.measure();
+          entrance_mass += 4.0 * std::max(0.0, inter);
+        }
+        if (total_mass > 0.0) entrance_share.add(100.0 * entrance_mass / total_mass);
+      }
+      t.add_row({name, collected.mean(), entrance_share.mean()});
+    }
+    std::cout << "\nAblation F: aspect-weight profiles (4x 90-deg entrance bands);\n"
+                 "the overlap-aware scheme should chase the weighted views:\n";
+    bench::emit(t, opts, "ablation_profiles");
+  }
+
+  {
+    // Link-layer realism the paper idealizes away: per-contact setup time
+    // (neighbor discovery / pairing) and priced metadata exchange.
+    Table t({"overhead model", "final point", "final aspect (rad)"});
+    struct OverheadCase {
+      std::string label;
+      double setup_s;
+      std::uint64_t meta_bytes;
+    };
+    for (const OverheadCase& c :
+         {OverheadCase{"ideal (paper)", 0.0, 0},
+          OverheadCase{"5s setup", 5.0, 0},
+          OverheadCase{"30s setup", 30.0, 0},
+          OverheadCase{"64B/photo metadata", 0.0, 64},
+          OverheadCase{"30s setup + 64B metadata", 30.0, 64}}) {
+      ExperimentSpec spec;
+      spec.scenario = base;
+      spec.scenario.sim.contact_setup_s = c.setup_s;
+      spec.scenario.sim.metadata_bytes_per_photo = c.meta_bytes;
+      spec.scheme = "OurScheme";
+      spec.runs = opts.runs;
+      // Overheads only matter relative to contact length; run in the
+      // short-contact regime of Fig. 6 (60 s cap) where they bite.
+      spec.max_contact_duration_s = 60.0;
+      const ExperimentResult r = run_experiment(spec);
+      t.add_row({c.label, r.final_point.mean(), r.final_aspect.mean()});
+    }
+    std::cout << "\nAblation H: link-layer overheads (contact setup, metadata cost)\n"
+                 "under 60 s contacts (overheads are negligible at full Fig. 6\n"
+                 "durations — 30 s of setup against a 10 min contact is noise):\n";
+    bench::emit(t, opts, "ablation_overheads");
+  }
+
+  {
+    // Burst workloads: people photograph interesting scenes in bursts of
+    // near-identical shots. Bursts multiply redundancy without adding
+    // information, so the gap between overlap-aware selection (ours) and
+    // individual-utility ranking (ModifiedSpray) should WIDEN with burst
+    // size — the sharpest test of the paper's core claim.
+    Table t({"burst size", "ours aspect", "mspray aspect", "ours/mspray"});
+    for (const std::uint32_t burst : {1u, 3u, 6u}) {
+      double ours = 0.0, mspray = 0.0;
+      for (const std::string& name :
+           {std::string("OurScheme"), std::string("ModifiedSpray")}) {
+        ExperimentSpec spec;
+        spec.scenario = base;
+        spec.scheme = name;
+        spec.runs = opts.runs;
+        spec.photo_options.burst_size = burst;
+        const ExperimentResult r = run_experiment(spec);
+        (name == "OurScheme" ? ours : mspray) = r.final_aspect.mean();
+      }
+      t.add_row({static_cast<std::int64_t>(burst), ours, mspray,
+                 mspray > 0.0 ? ours / mspray : 0.0});
+    }
+    std::cout << "\nAblation I: burst workloads (redundancy stress; same total "
+                 "photo rate):\n";
+    bench::emit(t, opts, "ablation_bursts");
+  }
+
+  {
+    // Extra content-agnostic baselines beyond the paper's comparison set.
+    Table t({"scheme", "final point", "final aspect (rad)", "delivered"});
+    for (const std::string& name :
+         {std::string("OurScheme"), std::string("Epidemic"), std::string("PROPHET"),
+          std::string("Spray&Wait")}) {
+      ExperimentSpec spec;
+      spec.scenario = base;
+      spec.scheme = name;
+      spec.runs = opts.runs;
+      const ExperimentResult r = run_experiment(spec);
+      t.add_row({name, r.final_point.mean(), r.final_aspect.mean(),
+                 r.final_delivered.mean()});
+    }
+    std::cout << "\nAblation G: extra routing baselines (Epidemic, PROPHET/GRTR):\n";
+    bench::emit(t, opts, "ablation_baselines");
+  }
+
+  return 0;
+}

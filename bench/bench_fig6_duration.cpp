@@ -1,0 +1,99 @@
+// Figure 6 — the effect of short contact durations on OurScheme
+// (MIT-like trace, 2 MB/s bandwidth; paper durations 10 min / 2 min /
+// 1 min / 30 s).
+//
+// Paper claims reproduced:
+//   * capping contacts at 2 min costs only ~1% coverage (the scheme moves
+//     the most valuable photos first);
+//   * performance collapses only under drastic truncation (30 s ~ 5% of
+//     photos transferable), where it degrades toward ModifiedSpray levels.
+#include <iostream>
+#include <optional>
+
+#include "bench_common.h"
+#include "sim/experiment.h"
+#include "util/table.h"
+
+using namespace photodtn;
+
+int main() {
+  const bench::BenchOptions opts = bench::options();
+  const ScenarioConfig scenario = bench::scaled_mit(opts);
+  bench::print_header(
+      "Figure 6: effect of contact duration (OurScheme, MIT-like trace)",
+      "Claim: graceful degradation; ~1% loss at 2 min, cliff only below ~1 min",
+      scenario, opts);
+
+  struct Case {
+    std::string label;
+    std::optional<double> cap_s;
+  };
+  // The paper sweeps 10 min / 2 min / 1 min / 30 s; a 10 s point is added
+  // beyond the paper to expose the full cliff (scaled storage shifts where
+  // the "insufficient for important photos" regime begins).
+  const std::vector<Case> cases{{"10min(full)", std::nullopt},
+                                {"2min", 120.0},
+                                {"1min", 60.0},
+                                {"30s", 30.0},
+                                {"10s", 10.0}};
+
+  std::vector<ExperimentResult> results;
+  for (const Case& c : cases) {
+    ExperimentSpec spec;
+    spec.scenario = scenario;
+    spec.scheme = "OurScheme";
+    spec.runs = opts.runs;
+    spec.max_contact_duration_s = c.cap_s;
+    bench::maybe_calibrate(opts, spec);
+    results.push_back(run_experiment(spec));
+  }
+  // ModifiedSpray at full duration: the paper's reference level for the 30 s
+  // case.
+  ExperimentSpec mspec;
+  mspec.scenario = scenario;
+  mspec.scheme = "ModifiedSpray";
+  mspec.runs = opts.runs;
+  bench::maybe_calibrate(opts, mspec);
+  const ExperimentResult mspray = run_experiment(mspec);
+
+  for (const bool aspect : {false, true}) {
+    std::vector<std::string> headers{aspect ? "t(h) \\ aspect(rad)" : "t(h) \\ point"};
+    for (const Case& c : cases) headers.push_back("ours@" + c.label);
+    headers.push_back("mspray@10min");
+    Table table(std::move(headers));
+    const auto& times = results.front().sample_times;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      std::vector<Table::Cell> row{times[i] / 3600.0};
+      for (const auto& r : results) {
+        // Named double avoids a GCC 12 ternary-into-variant false positive.
+        const double v = aspect ? r.aspect.means()[i] : r.point.means()[i];
+        row.push_back(v);
+      }
+      const double m = aspect ? mspray.aspect.means()[i] : mspray.point.means()[i];
+      row.push_back(m);
+      table.add_row(std::move(row));
+    }
+    std::cout << (aspect ? "\nFig. 6(b) aspect coverage under truncated contacts:\n"
+                         : "\nFig. 6(a) point coverage under truncated contacts:\n");
+    bench::emit(table, opts, aspect ? "fig6b_aspect" : "fig6a_point");
+  }
+
+  Table summary({"duration", "final point", "final aspect", "loss vs full (%)"});
+  const double full_aspect = results.front().final_aspect.mean();
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const double loss =
+        full_aspect > 0.0
+            ? 100.0 * (full_aspect - results[i].final_aspect.mean()) / full_aspect
+            : 0.0;
+    summary.add_row({cases[i].label, results[i].final_point.mean(),
+                     results[i].final_aspect.mean(), loss});
+  }
+  summary.add_row({std::string("mspray@10min (reference)"), mspray.final_point.mean(),
+                   mspray.final_aspect.mean(),
+                   full_aspect > 0.0
+                       ? 100.0 * (full_aspect - mspray.final_aspect.mean()) / full_aspect
+                       : 0.0});
+  std::cout << "Fig. 6 degradation summary:\n";
+  bench::emit(summary, opts, "fig6_summary");
+  return 0;
+}

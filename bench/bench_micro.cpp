@@ -1,0 +1,205 @@
+// Micro-benchmarks (google-benchmark) for the algorithmic kernels: arc-set
+// operations, footprint computation, expected-coverage evaluation (exact
+// breakpoint integration vs literal 2^m enumeration vs Monte Carlo), the
+// greedy selector (lazy vs plain), and PROPHET updates.
+#include <benchmark/benchmark.h>
+
+#include "geometry/arc_set.h"
+#include "routing/prophet.h"
+#include "selection/exact_solver.h"
+#include "selection/expected_coverage.h"
+#include "selection/greedy_selector.h"
+#include "selection/selection_env.h"
+#include "util/rng.h"
+#include "workload/photo_gen.h"
+#include "workload/poi_gen.h"
+
+namespace photodtn {
+namespace {
+
+// ---------------------------------------------------------------- geometry
+
+void BM_ArcSetAdd(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Arc> arcs;
+  for (int i = 0; i < 64; ++i)
+    arcs.push_back({rng.uniform(0.0, kTwoPi), rng.uniform(0.1, 1.0)});
+  for (auto _ : state) {
+    ArcSet s;
+    for (const Arc& a : arcs) s.add(a);
+    benchmark::DoNotOptimize(s.measure());
+  }
+}
+BENCHMARK(BM_ArcSetAdd);
+
+void BM_ArcSetGain(benchmark::State& state) {
+  Rng rng(2);
+  ArcSet s;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i)
+    s.add({rng.uniform(0.0, kTwoPi), rng.uniform(0.05, 0.3)});
+  const Arc probe{1.0, 0.8};
+  for (auto _ : state) benchmark::DoNotOptimize(s.gain(probe));
+}
+BENCHMARK(BM_ArcSetGain)->Arg(4)->Arg(16)->Arg(64);
+
+// ---------------------------------------------------------------- coverage
+
+struct Workbench {
+  Workbench(std::size_t pois, std::size_t photos, std::uint64_t seed = 42)
+      : rng(seed),
+        poi_list(generate_uniform_pois(pois, 6300.0, rng)),
+        model(poi_list, deg_to_rad(30.0)) {
+    ScenarioConfig cfg = ScenarioConfig::mit(seed);
+    PhotoGenerator gen(cfg, poi_list);
+    for (std::size_t i = 0; i < photos; ++i)
+      pool.push_back(gen.generate_one(0.0, 1, rng).photo);
+  }
+
+  Rng rng;
+  PoiList poi_list;
+  CoverageModel model;
+  std::vector<PhotoMeta> pool;
+};
+
+void BM_Footprint(benchmark::State& state) {
+  Workbench wb(250, 64);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wb.model.footprint(wb.pool[i % wb.pool.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Footprint);
+
+// -------------------------------------------------------- expected coverage
+
+std::vector<NodeCollection> make_collections(const Workbench& wb, std::size_t nodes,
+                                             std::size_t photos_per_node) {
+  std::vector<NodeCollection> out;
+  std::size_t next = 0;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    NodeCollection nc;
+    nc.node = static_cast<NodeId>(n + 1);
+    nc.delivery_prob = 0.2 + 0.6 * static_cast<double>(n) / static_cast<double>(nodes);
+    for (std::size_t k = 0; k < photos_per_node && next < wb.pool.size(); ++k, ++next)
+      nc.footprints.push_back(&wb.model.footprint_cached(wb.pool[next]));
+    out.push_back(std::move(nc));
+  }
+  return out;
+}
+
+void BM_ExpectedCoverageExact(benchmark::State& state) {
+  Workbench wb(250, 200);
+  const auto nodes =
+      make_collections(wb, static_cast<std::size_t>(state.range(0)), 20);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(expected_coverage_exact(wb.model, nodes));
+}
+BENCHMARK(BM_ExpectedCoverageExact)->Arg(2)->Arg(6)->Arg(10);
+
+void BM_ExpectedCoverageEnumerate(benchmark::State& state) {
+  Workbench wb(50, 60);
+  const auto nodes =
+      make_collections(wb, static_cast<std::size_t>(state.range(0)), 6);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(expected_coverage_enumerate(wb.model, nodes));
+}
+BENCHMARK(BM_ExpectedCoverageEnumerate)->Arg(2)->Arg(6)->Arg(10);
+
+void BM_ExpectedCoverageMonteCarlo(benchmark::State& state) {
+  Workbench wb(50, 60);
+  const auto nodes = make_collections(wb, 6, 6);
+  Rng rng(7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(expected_coverage_monte_carlo(
+        wb.model, nodes, rng, static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_ExpectedCoverageMonteCarlo)->Arg(100)->Arg(1000);
+
+// ------------------------------------------------------- exact vs greedy
+
+void BM_ExactReallocate(benchmark::State& state) {
+  Workbench wb(10, static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact_reallocate(wb.model, wb.pool, 1, 0.7,
+                                              4ULL * 4'000'000, 2, 0.3,
+                                              4ULL * 4'000'000, {}));
+  }
+}
+BENCHMARK(BM_ExactReallocate)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_GreedyReallocateTiny(benchmark::State& state) {
+  Workbench wb(10, static_cast<std::size_t>(state.range(0)), 7);
+  const GreedySelector sel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sel.reallocate(wb.model, wb.pool, 1, 0.7,
+                                            4ULL * 4'000'000, 2, 0.3,
+                                            4ULL * 4'000'000, {}));
+  }
+}
+BENCHMARK(BM_GreedyReallocateTiny)->Arg(4)->Arg(6)->Arg(8);
+
+// ------------------------------------------------------------------ greedy
+
+void BM_GreedySelect(benchmark::State& state) {
+  const bool lazy = state.range(1) != 0;
+  Workbench wb(250, static_cast<std::size_t>(state.range(0)));
+  GreedyParams params;
+  params.lazy = lazy;
+  const GreedySelector sel(params);
+  for (auto _ : state) {
+    SelectionEnvironment env(wb.model, {});
+    GreedyPhase phase(env, 0.7);
+    benchmark::DoNotOptimize(
+        sel.select(wb.model, wb.pool, 150ULL * 4'000'000, phase));
+  }
+}
+BENCHMARK(BM_GreedySelect)
+    ->Args({50, 0})
+    ->Args({50, 1})
+    ->Args({200, 0})
+    ->Args({200, 1})
+    ->Args({400, 1});
+
+void BM_Reallocate(benchmark::State& state) {
+  Workbench wb(250, 300);
+  const GreedySelector sel;
+  const auto env = make_collections(wb, 4, 30);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sel.reallocate(wb.model, wb.pool, 1, 0.6,
+                                            150ULL * 4'000'000, 2, 0.3,
+                                            150ULL * 4'000'000, env));
+  }
+}
+BENCHMARK(BM_Reallocate);
+
+// ----------------------------------------------------------------- routing
+
+void BM_ProphetEncounter(benchmark::State& state) {
+  ProphetConfig cfg;
+  std::vector<ProphetTable> tables;
+  for (NodeId i = 0; i < 50; ++i) tables.emplace_back(cfg, i);
+  Rng rng(3);
+  // Warm the tables so transitivity has entries to propagate.
+  double t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const auto a = static_cast<std::size_t>(rng.uniform_int(0, 49));
+    auto b = static_cast<std::size_t>(rng.uniform_int(0, 49));
+    if (a == b) b = (b + 1) % 50;
+    ProphetTable::encounter(tables[a], tables[b], t);
+    t += 10.0;
+  }
+  for (auto _ : state) {
+    const auto a = static_cast<std::size_t>(rng.uniform_int(0, 49));
+    auto b = static_cast<std::size_t>(rng.uniform_int(0, 49));
+    if (a == b) b = (b + 1) % 50;
+    ProphetTable::encounter(tables[a], tables[b], t);
+    t += 10.0;
+  }
+}
+BENCHMARK(BM_ProphetEncounter);
+
+}  // namespace
+}  // namespace photodtn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Battlefield patrol scenario: squads patrol sectors of an area of
+// operations and must report imagery of designated targets back to the
+// command post. Demonstrates (i) weighted PoIs — high-value targets earn
+// double weight and are prioritized automatically by the lexicographic
+// coverage model; (ii) team-structured contact patterns (squad members meet
+// constantly, squads rarely); (iii) the effect of how many soldiers carry a
+// SATCOM uplink.
+//
+// Run: ./battlefield_patrol
+#include <cstdio>
+
+#include "geometry/angle.h"
+#include "schemes/factory.h"
+#include "sim/experiment.h"
+#include "workload/poi_gen.h"
+
+using namespace photodtn;
+
+int main() {
+  std::printf("Battlefield patrol: 4 squads x 8 soldiers, 48h operation.\n\n");
+
+  ScenarioConfig sc = ScenarioConfig::mit(1);
+  sc.region_m = 4000.0;
+  sc.num_pois = 40;
+  sc.photo_rate_per_hour = 100.0;
+  sc.trace.num_participants = 32;
+  sc.trace.team_size = 8;              // squads
+  sc.trace.intra_team_boost = 30.0;    // squad members move together
+  sc.trace.duration_s = 48.0 * 3600.0;
+  sc.trace.base_pair_rate_per_hour = 0.05;
+  sc.trace.gateway_mean_interval_s = 4.0 * 3600.0;
+  sc.sim.node_storage_bytes = 15ULL * 4'000'000;
+  sc.sim.sample_interval_s = 8.0 * 3600.0;
+
+  // Target deck: 40 targets; every fifth is high-value (weight 2).
+  // run_single generates uniform unit-weight PoIs internally, so this
+  // example drives the pipeline manually where weights matter.
+  std::printf("Effect of SATCOM density on what the command post sees\n");
+  std::printf("  %-22s  %-14s  %-16s  %s\n", "uplinks (gateway frac)",
+              "targets seen", "aspect (deg)", "photos received");
+  for (const double frac : {1.0 / 32.0, 2.0 / 32.0, 4.0 / 32.0}) {
+    ExperimentSpec spec;
+    spec.scenario = sc;
+    spec.scenario.trace.gateway_fraction = frac;
+    spec.scheme = "OurScheme";
+    spec.runs = 3;
+    const ExperimentResult r = run_experiment(spec);
+    char seen[32];
+    std::snprintf(seen, sizeof seen, "%.1f%%", 100.0 * r.final_point.mean());
+    std::printf("  %-22.3f  %-14s  %-16.1f  %.0f\n", frac, seen,
+                rad_to_deg(r.final_aspect.mean()), r.final_delivered.mean());
+  }
+
+  // Weighted targets: rerun the coverage model directly to show the
+  // high-value targets get covered first.
+  std::printf("\nWeighted target prioritization (same photos, one uplink):\n");
+  Rng rng(99);
+  Rng poi_rng = rng.split("pois");
+  PoiList targets = generate_uniform_pois(sc.num_pois, sc.region_m, poi_rng);
+  for (std::size_t i = 0; i < targets.size(); i += 5) targets[i].weight = 2.0;
+
+  const CoverageModel model(targets, sc.effective_angle);
+  SyntheticTraceConfig tc = sc.trace;
+  tc.gateway_fraction = 1.0 / 32.0;
+  tc.seed = 5;
+  const ContactTrace trace = generate_synthetic_trace(tc);
+  PhotoGenerator gen(sc, targets);
+  Rng photo_rng = rng.split("photos");
+  std::vector<PhotoEvent> events = gen.generate(trace.horizon(), 32, photo_rng);
+  SimConfig sim_cfg = sc.sim;
+  Simulator sim(model, trace, std::move(events), sim_cfg);
+  auto scheme = make_scheme("OurScheme");
+  const SimResult r = sim.run(*scheme);
+
+  std::size_t hv_total = 0, hv_seen = 0, lv_total = 0, lv_seen = 0;
+  const CoverageMap& cc = sim.command_center_coverage();
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const bool high_value = targets[i].weight > 1.0;
+    (high_value ? hv_total : lv_total) += 1;
+    if (cc.poi_covered(i)) (high_value ? hv_seen : lv_seen) += 1;
+  }
+  std::printf("  high-value targets covered: %zu/%zu (%.0f%%)\n", hv_seen, hv_total,
+              100.0 * static_cast<double>(hv_seen) / static_cast<double>(hv_total));
+  std::printf("  regular targets covered:    %zu/%zu (%.0f%%)\n", lv_seen, lv_total,
+              100.0 * static_cast<double>(lv_seen) / static_cast<double>(lv_total));
+  std::printf("\nUnder contention, the doubled weight pulls coverage toward the\n"
+              "high-value targets — the weighted extension of Section II-C.\n");
+  return 0;
+}

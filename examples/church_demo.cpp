@@ -1,0 +1,140 @@
+// The Section IV prototype demonstration as a narrated example: 8
+// participants photograph a historic church; a data mule (the command
+// center) passes by four times; at most 3 photos move per contact and each
+// phone stores 5. Shows photo-by-photo what the center receives and which
+// aspects of the church each delivered photo covers — the textual analogue
+// of Fig. 3/4.
+//
+// Run: ./church_demo
+// Besides the console report, writes church_demo_<scheme>.svg — the Fig. 3
+// style map of the delivered photos and the covered aspect ring.
+#include <cstdio>
+
+#include "dtn/simulator.h"
+#include "geometry/angle.h"
+#include "schemes/factory.h"
+#include "util/rng.h"
+#include "viz/coverage_scene.h"
+
+using namespace photodtn;
+
+namespace {
+
+constexpr double kHistoryHours = 150.0;
+
+ContactTrace make_trace(Rng& rng) {
+  std::vector<Contact> contacts;
+  for (int i = 0; i < 180; ++i) {  // learning prefix for PROPHET/rates
+    const double t = rng.uniform(0.0, kHistoryHours * 3600.0);
+    NodeId a = 0, b = 0;
+    if (i % 15 == 0) {
+      b = static_cast<NodeId>(rng.uniform_int(1, 2));
+    } else {
+      a = static_cast<NodeId>(rng.uniform_int(1, 8));
+      do {
+        b = static_cast<NodeId>(rng.uniform_int(1, 8));
+      } while (b == a);
+    }
+    contacts.push_back(Contact{t, 600.0, a, b});
+  }
+  const double t0 = kHistoryHours * 3600.0;
+  int mule = 0;
+  for (int i = 0; i < 48; ++i) {
+    const double t = t0 + (i + 1) * 3600.0;
+    NodeId a = 0, b = 0;
+    if (mule < 4 && i % 12 == 10) {
+      b = static_cast<NodeId>(rng.uniform_int(1, 2));
+      ++mule;
+    } else {
+      a = static_cast<NodeId>(rng.uniform_int(1, 8));
+      do {
+        b = static_cast<NodeId>(rng.uniform_int(1, 8));
+      } while (b == a);
+    }
+    contacts.push_back(Contact{t, 600.0, a, b});
+  }
+  return ContactTrace{std::move(contacts), 9, (kHistoryHours + 50.0) * 3600.0};
+}
+
+std::vector<PhotoEvent> make_photos(Vec2 church, Rng& rng) {
+  std::vector<PhotoEvent> events;
+  PhotoId id = 1;
+  const double t0 = kHistoryHours * 3600.0;
+  for (NodeId node = 1; node <= 8; ++node) {
+    for (int k = 0; k < 5; ++k) {
+      PhotoMeta p;
+      p.id = id++;
+      p.taken_by = node;
+      p.taken_at = t0;
+      p.size_bytes = 4'000'000;
+      p.fov = deg_to_rad(rng.uniform(40.0, 60.0));
+      p.range = 200.0;
+      if (rng.bernoulli(0.55)) {
+        const double dir = rng.uniform(0.0, kTwoPi);
+        p.location = church + Vec2::from_heading(dir) * rng.uniform(60.0, 150.0);
+        p.orientation = normalize_angle(dir + std::numbers::pi + rng.uniform(-0.1, 0.1));
+      } else {
+        p.location = church + Vec2{rng.uniform(300.0, 900.0), rng.uniform(300.0, 900.0)};
+        p.orientation = rng.uniform(0.0, kTwoPi);
+      }
+      events.push_back(PhotoEvent{t0, node, p});
+    }
+  }
+  return events;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Church demo (Section IV): 8 photographers, 1 target, 48 contacts,\n"
+              "4 data-mule visits, <=3 photos per contact, <=5 photos per phone.\n\n");
+
+  const Vec2 church{0.0, 0.0};
+  const CoverageModel model({PointOfInterest{0, church, 1.0, nullptr}}, deg_to_rad(40.0));
+  SimConfig cfg;
+  cfg.node_storage_bytes = 5ULL * 4'000'000;
+  cfg.bandwidth_bytes_per_s = 3.0 * 4'000'000.0 / 600.0;
+  cfg.sample_interval_s = 1e9;
+
+  for (const std::string& name : demo_scheme_names()) {
+    Rng rng(11);  // identical inputs per scheme
+    const ContactTrace trace = make_trace(rng);
+    std::vector<PhotoEvent> photos = make_photos(church, rng);
+    Simulator sim(model, trace, photos, cfg);
+    auto scheme = make_scheme(name);
+    const SimResult r = sim.run(*scheme);
+
+    std::printf("--- %s ---\n", name.c_str());
+    std::printf("delivered %llu photos; the church's aspect ring is %.0f deg covered\n",
+                (unsigned long long)r.delivered_photos, rad_to_deg(r.final_coverage.aspect));
+    for (const auto& [id, p] : sim.node(kCommandCenter).store().map()) {
+      const PhotoFootprint& fp = model.footprint_cached(p);
+      if (!fp.relevant()) {
+        std::printf("  photo #%-3llu  (does not show the church)\n",
+                    (unsigned long long)id);
+        continue;
+      }
+      const double view_from = (p.location - church).heading();
+      std::printf("  photo #%-3llu  shot from %3.0f deg, %3.0f m away -> covers "
+                  "[%.0f..%.0f] deg\n",
+                  (unsigned long long)id, rad_to_deg(view_from),
+                  p.location.distance_to(church),
+                  rad_to_deg(normalize_angle(view_from - deg_to_rad(40.0))),
+                  rad_to_deg(normalize_angle(view_from + deg_to_rad(40.0))));
+    }
+    // Fig. 3-style map of what the center received.
+    CoverageMap delivered_map(model);
+    const std::vector<PhotoMeta> delivered = sim.node(kCommandCenter).store().photos();
+    for (const PhotoMeta& p : delivered) delivered_map.add(model.footprint_cached(p));
+    const SvgCanvas scene = render_coverage_scene(model, delivered, &delivered_map);
+    std::string file = "church_demo_" + name + ".svg";
+    for (char& ch : file)
+      if (ch == '&') ch = '_';
+    if (scene.write_file(file)) std::printf("  map written to %s\n", file.c_str());
+    std::printf("\n");
+  }
+  std::printf("Compare: the paper's prototype delivered 6 useful photos covering\n"
+              "346 deg with our scheme, vs 12 photos covering 160/171 deg for\n"
+              "PhotoNet / Spray&Wait.\n");
+  return 0;
+}

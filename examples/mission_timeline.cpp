@@ -1,0 +1,109 @@
+// Observability demo: hook the simulator's event stream and narrate a small
+// crowdsourcing mission minute by minute — who photographed what, which
+// contacts moved which photos, what got dropped as redundant, and when the
+// command center received each view. Useful for debugging schemes and for
+// teaching how the Section III algorithm behaves contact by contact.
+//
+// Run: ./mission_timeline
+#include <cstdio>
+#include <string>
+
+#include "dtn/simulator.h"
+#include "geometry/angle.h"
+#include "schemes/factory.h"
+#include "util/rng.h"
+#include "workload/photo_gen.h"
+#include "workload/poi_gen.h"
+
+using namespace photodtn;
+
+namespace {
+
+const char* type_name(SimEvent::Type t) {
+  switch (t) {
+    case SimEvent::Type::kContact: return "CONTACT ";
+    case SimEvent::Type::kPhotoTaken: return "CAPTURE ";
+    case SimEvent::Type::kTransfer: return "TRANSFER";
+    case SimEvent::Type::kDrop: return "DROP    ";
+    case SimEvent::Type::kDelivery: return "DELIVERY";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Mission timeline: 6 scouts, 3 targets, 12 hours, one uplink.\n\n");
+
+  Rng rng(404);
+  Rng poi_rng = rng.split("pois");
+  const PoiList pois = generate_uniform_pois(3, 1200.0, poi_rng);
+  const CoverageModel model(pois, deg_to_rad(30.0));
+
+  SyntheticTraceConfig tc;
+  tc.num_participants = 6;
+  tc.duration_s = 12.0 * 3600.0;
+  tc.base_pair_rate_per_hour = 1.2;
+  tc.team_size = 3;
+  tc.gateway_fraction = 1.0 / 6.0;
+  tc.gateway_mean_interval_s = 3.0 * 3600.0;
+  tc.seed = 404;
+  const ContactTrace trace = generate_synthetic_trace(tc);
+
+  ScenarioConfig wl = ScenarioConfig::mit(1);
+  wl.region_m = 1200.0;
+  wl.num_pois = pois.size();
+  wl.photo_rate_per_hour = 6.0;
+  PhotoGenOptions po;
+  po.aimed_fraction = 0.9;
+  po.aim_search_radius_m = 700.0;
+  PhotoGenerator gen(wl, pois, po);
+  Rng photo_rng = rng.split("photos");
+  std::vector<PhotoEvent> events = gen.generate(trace.horizon(), 6, photo_rng);
+
+  SimConfig cfg;
+  cfg.node_storage_bytes = 4ULL * 4'000'000;  // four photos per scout
+  cfg.bandwidth_bytes_per_s = 2.0e6;
+  cfg.sample_interval_s = 1e9;
+  Simulator sim(model, trace, std::move(events), cfg);
+
+  std::size_t shown = 0;
+  sim.set_event_listener([&](const SimEvent& e) {
+    if (shown >= 60) return;  // keep the console readable
+    ++shown;
+    const double h = e.time / 3600.0;
+    switch (e.type) {
+      case SimEvent::Type::kContact:
+        std::printf("[%5.2fh] %s node %d <-> node %d\n", h, type_name(e.type), e.a,
+                    e.b);
+        break;
+      case SimEvent::Type::kPhotoTaken:
+        std::printf("[%5.2fh] %s scout %d takes photo #%llu\n", h, type_name(e.type),
+                    e.a, (unsigned long long)e.photo);
+        break;
+      case SimEvent::Type::kTransfer:
+        std::printf("[%5.2fh] %s photo #%llu: %d -> %d\n", h, type_name(e.type),
+                    (unsigned long long)e.photo, e.a, e.b);
+        break;
+      case SimEvent::Type::kDrop:
+        std::printf("[%5.2fh] %s node %d drops photo #%llu (redundant/acked)\n", h,
+                    type_name(e.type), e.a, (unsigned long long)e.photo);
+        break;
+      case SimEvent::Type::kDelivery:
+        std::printf("[%5.2fh] %s photo #%llu reaches the command center via %d\n", h,
+                    type_name(e.type), (unsigned long long)e.photo, e.a);
+        break;
+    }
+  });
+
+  auto scheme = make_scheme("OurScheme");
+  const SimResult r = sim.run(*scheme);
+  if (shown >= 60) std::printf("... (%s)\n", "timeline truncated at 60 events");
+  std::printf("\nMission result: %.0f%% of targets covered, %.0f deg mean aspect, "
+              "%llu photos delivered, %llu transfers, %llu drops.\n",
+              100.0 * r.final_point_norm, rad_to_deg(r.final_aspect_norm),
+              (unsigned long long)r.delivered_photos,
+              (unsigned long long)r.counters.transfers,
+              (unsigned long long)r.counters.drops);
+  return 0;
+}

@@ -1,0 +1,109 @@
+// photodtn public API facade.
+//
+// The library implements the resource-aware photo crowdsourcing framework of
+// Wu et al. (ICDCS'16). The facade wraps the three things a downstream
+// application needs:
+//
+//   PhotoCrowdTask    — a crowdsourcing event: PoI list + model parameters;
+//                       evaluates the coverage of photo collections.
+//   DeviceAgent       — per-device decision logic: which photos to keep and
+//                       which to hand over during a contact (the Section III
+//                       algorithm, usable outside the simulator).
+//   (simulation)      — sim/experiment.h replays whole traces for studies.
+//
+// Everything here is metadata-only: photos are (location, range, fov,
+// orientation) tuples plus size/time bookkeeping; pixels never enter the
+// framework.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "coverage/coverage_map.h"
+#include "coverage/coverage_model.h"
+#include "coverage/coverage_value.h"
+#include "coverage/photo.h"
+#include "coverage/poi.h"
+#include "selection/greedy_selector.h"
+#include "selection/metadata_cache.h"
+
+namespace photodtn {
+
+/// A crowdsourcing event issued by a command center.
+class PhotoCrowdTask {
+ public:
+  /// `effective_angle` is theta (radians); `deadline_s` bounds the event
+  /// (informational: coverage queries do not depend on it).
+  PhotoCrowdTask(PoiList pois, double effective_angle, double deadline_s = 0.0);
+
+  const CoverageModel& model() const noexcept { return model_; }
+  double deadline() const noexcept { return deadline_s_; }
+
+  /// Photo coverage (Definition 1) of a photo collection.
+  CoverageValue coverage(std::span<const PhotoMeta> photos) const;
+
+  /// Point coverage fraction and mean per-PoI aspect radians of a collection.
+  std::pair<double, double> normalized_coverage(std::span<const PhotoMeta> photos) const;
+
+  /// True if the photo covers at least one PoI (worth carrying at all).
+  bool is_relevant(const PhotoMeta& photo) const;
+
+ private:
+  CoverageModel model_;
+  double deadline_s_;
+};
+
+/// A contact peer's view used by DeviceAgent::plan_contact.
+struct PeerView {
+  NodeId id = -1;
+  double delivery_prob = 0.0;
+  std::vector<PhotoMeta> photos;
+  std::uint64_t storage_bytes = 0;
+};
+
+/// What a device should do after a contact: the ordered list of photos it
+/// should end up holding, and which of those must be fetched from the peer.
+struct ContactDecision {
+  std::vector<PhotoId> keep_in_order;
+  std::vector<PhotoId> fetch_from_peer;
+};
+
+/// On-device decision logic for one participant.
+class DeviceAgent {
+ public:
+  DeviceAgent(const PhotoCrowdTask& task, NodeId self, std::uint64_t storage_bytes,
+              double p_thld = 0.8);
+
+  NodeId id() const noexcept { return self_; }
+
+  /// Records metadata learned from a peer (own snapshot or gossip).
+  void learn_metadata(MetadataEntry entry);
+
+  /// Decides which photos this device should keep and which to fetch when
+  /// meeting `peer`, given this device's current photos and delivery
+  /// probability. Pure planning: the caller performs the transfers.
+  ContactDecision plan_contact(std::span<const PhotoMeta> own_photos,
+                               double own_delivery_prob, const PeerView& peer,
+                               double now) const;
+
+  /// Picks the photos worth keeping from `pool` under the storage budget,
+  /// against everything this device knows (cached metadata), assuming the
+  /// device delivers with `own_delivery_prob`.
+  std::vector<PhotoId> select_storage(std::span<const PhotoMeta> pool,
+                                      double own_delivery_prob, double now) const;
+
+  const MetadataCache& cache() const noexcept { return cache_; }
+
+ private:
+  std::vector<NodeCollection> environment(NodeId exclude_a, NodeId exclude_b,
+                                          double now) const;
+
+  const PhotoCrowdTask* task_;
+  NodeId self_;
+  std::uint64_t storage_bytes_;
+  MetadataCache cache_;
+  GreedySelector selector_;
+};
+
+}  // namespace photodtn

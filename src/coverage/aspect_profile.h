@@ -1,0 +1,59 @@
+// Aspect weighting (the Section II-C discussion): "when a particular angle
+// of a target (e.g., main entrance of a building) is more important than
+// others, we can assign different weights to different aspects of a PoI."
+//
+// An AspectProfile is a piecewise-constant weight function on a PoI's
+// aspect circle. The default profile is uniform weight 1, which reproduces
+// the unweighted model exactly. With a profile, a PoI's aspect coverage is
+// the *weighted* measure of the covered aspect set — covering the main
+// entrance earns more than covering the back wall.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "geometry/arc_set.h"
+
+namespace photodtn {
+
+class AspectProfile {
+ public:
+  /// Uniform weight 1 everywhere.
+  AspectProfile() = default;
+
+  /// Sets the weight on `arc` to `weight` (overriding previous values on
+  /// that arc; later bands win). Weight must be >= 0.
+  void set_band(Arc arc, double weight);
+
+  /// Weight at an angle.
+  double weight_at(double angle) const noexcept;
+
+  /// Integral of the weight over the whole circle (the PoI's maximum
+  /// attainable aspect coverage).
+  double total() const noexcept;
+
+  /// Integral of the weight over [lo, hi] minus the parts covered by
+  /// `exclude`, for 0 <= lo <= hi <= 2*pi.
+  double integrate_excluding(double lo, double hi, const ArcSet& exclude) const;
+
+  /// Integral of the weight over a covered set.
+  double integrate_set(const ArcSet& set) const;
+
+  bool is_uniform() const noexcept { return bps_.empty(); }
+
+ private:
+  // Empty bps_ means constant weight 1. Otherwise vals_[k] applies on
+  // [bps_[k], bps_[k+1]) with the last segment wrapping to bps_[0] + 2*pi.
+  std::vector<double> bps_;
+  std::vector<double> vals_;
+};
+
+/// Weighted measure `arc` would add beyond `existing` under `profile`
+/// (nullptr profile = uniform weight 1, i.e. existing.gain(arc)). Handles
+/// wrapping arcs.
+double profile_gain(const AspectProfile* profile, Arc arc, const ArcSet& existing);
+
+/// Weighted measure of a covered set (nullptr profile = set.measure()).
+double profile_measure(const AspectProfile* profile, const ArcSet& set);
+
+}  // namespace photodtn

@@ -1,0 +1,91 @@
+#include "coverage/coverage_map.h"
+
+#include "util/check.h"
+
+namespace photodtn {
+
+CoverageMap::CoverageMap(const CoverageModel& model)
+    : model_(&model),
+      arcs_(model.pois().size()),
+      covered_(model.pois().size(), 0) {
+  for (const PointOfInterest& poi : model.pois()) total_weight_ += poi.weight;
+}
+
+CoverageValue CoverageMap::add(const PhotoFootprint& fp) {
+  CoverageValue gained;
+  for (const PoiArc& pa : fp.arcs) {
+    PHOTODTN_CHECK(pa.poi_index < arcs_.size());
+    const PointOfInterest& poi = model_->pois()[pa.poi_index];
+    if (!covered_[pa.poi_index]) {
+      covered_[pa.poi_index] = 1;
+      gained.point += poi.weight;
+    }
+    gained.aspect +=
+        poi.weight * profile_gain(poi.profile(), pa.arc, arcs_[pa.poi_index]);
+    arcs_[pa.poi_index].add(pa.arc);
+  }
+  total_ += gained;
+  return gained;
+}
+
+CoverageValue CoverageMap::gain(const PhotoFootprint& fp) const {
+  CoverageValue g;
+  for (const PoiArc& pa : fp.arcs) {
+    PHOTODTN_CHECK(pa.poi_index < arcs_.size());
+    const PointOfInterest& poi = model_->pois()[pa.poi_index];
+    if (!covered_[pa.poi_index]) g.point += poi.weight;
+    g.aspect += poi.weight * profile_gain(poi.profile(), pa.arc, arcs_[pa.poi_index]);
+  }
+  return g;
+}
+
+double CoverageMap::normalized_point() const noexcept {
+  return total_weight_ > 0.0 ? total_.point / total_weight_ : 0.0;
+}
+
+double CoverageMap::normalized_aspect() const noexcept {
+  return total_weight_ > 0.0 ? total_.aspect / total_weight_ : 0.0;
+}
+
+bool CoverageMap::poi_covered(std::size_t poi_index) const {
+  PHOTODTN_CHECK(poi_index < covered_.size());
+  return covered_[poi_index] != 0;
+}
+
+double CoverageMap::poi_aspect(std::size_t poi_index) const {
+  PHOTODTN_CHECK(poi_index < arcs_.size());
+  return profile_measure(model_->pois()[poi_index].profile(), arcs_[poi_index]);
+}
+
+bool CoverageMap::poi_full_view(std::size_t poi_index) const {
+  PHOTODTN_CHECK(poi_index < arcs_.size());
+  return arcs_[poi_index].full();
+}
+
+double CoverageMap::full_view_fraction() const noexcept {
+  if (total_weight_ <= 0.0) return 0.0;
+  double covered_weight = 0.0;
+  for (std::size_t i = 0; i < arcs_.size(); ++i)
+    if (arcs_[i].full()) covered_weight += model_->pois()[i].weight;
+  return covered_weight / total_weight_;
+}
+
+const ArcSet& CoverageMap::poi_arcs(std::size_t poi_index) const {
+  PHOTODTN_CHECK(poi_index < arcs_.size());
+  return arcs_[poi_index];
+}
+
+void CoverageMap::clear() {
+  for (auto& a : arcs_) a = ArcSet{};
+  std::fill(covered_.begin(), covered_.end(), 0);
+  total_ = CoverageValue{};
+}
+
+CoverageValue coverage_of(const CoverageModel& model,
+                          const std::vector<PhotoFootprint>& fps) {
+  CoverageMap map(model);
+  for (const auto& fp : fps) map.add(fp);
+  return map.total();
+}
+
+}  // namespace photodtn

@@ -1,0 +1,62 @@
+// CoverageMap accumulates the photo coverage C_ph of a concrete photo
+// collection over the model's PoI list: per-PoI point-coverage flags and
+// aspect ArcSets, with incremental add and non-mutating gain queries. The
+// command center's achieved coverage and every scheme's bookkeeping are
+// CoverageMaps.
+#pragma once
+
+#include <vector>
+
+#include "coverage/coverage_model.h"
+#include "coverage/coverage_value.h"
+
+namespace photodtn {
+
+class CoverageMap {
+ public:
+  explicit CoverageMap(const CoverageModel& model);
+
+  /// Adds a photo's footprint; returns the coverage gained (weighted).
+  CoverageValue add(const PhotoFootprint& fp);
+
+  /// Coverage that adding `fp` would contribute, without mutating.
+  CoverageValue gain(const PhotoFootprint& fp) const;
+
+  /// Current total (weighted) coverage.
+  CoverageValue total() const noexcept { return total_; }
+
+  /// Point coverage normalized by total PoI weight, in [0, 1].
+  double normalized_point() const noexcept;
+  /// Mean aspect coverage per PoI in radians, weight-normalized: total
+  /// weighted aspect divided by total weight.
+  double normalized_aspect() const noexcept;
+
+  /// Per-PoI accessors (unweighted by PoI importance; aspect honors the
+  /// PoI's AspectProfile when set).
+  bool poi_covered(std::size_t poi_index) const;
+  double poi_aspect(std::size_t poi_index) const;
+  const ArcSet& poi_arcs(std::size_t poi_index) const;
+
+  /// Full-view coverage (Wang et al., cited in Section VI): a PoI is
+  /// full-view covered when its whole 2*pi aspect ring is covered.
+  bool poi_full_view(std::size_t poi_index) const;
+  /// Weighted fraction of PoIs that are full-view covered.
+  double full_view_fraction() const noexcept;
+
+  const CoverageModel& model() const noexcept { return *model_; }
+
+  void clear();
+
+ private:
+  const CoverageModel* model_;
+  std::vector<ArcSet> arcs_;       // one per PoI
+  std::vector<char> covered_;      // point-coverage flags
+  CoverageValue total_;
+  double total_weight_ = 0.0;
+};
+
+/// Convenience: coverage of a set of footprints from scratch.
+CoverageValue coverage_of(const CoverageModel& model,
+                          const std::vector<PhotoFootprint>& fps);
+
+}  // namespace photodtn

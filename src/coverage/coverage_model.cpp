@@ -1,0 +1,57 @@
+#include "coverage/coverage_model.h"
+
+#include <algorithm>
+
+#include "geometry/angle.h"
+#include "util/check.h"
+
+namespace photodtn {
+
+CoverageModel::CoverageModel(PoiList pois, double effective_angle)
+    : pois_(std::move(pois)), theta_(effective_angle), index_(pois_) {
+  PHOTODTN_CHECK_MSG(theta_ > 0.0 && theta_ <= kTwoPi,
+                     "effective angle must be in (0, 2*pi]");
+}
+
+void CoverageModel::set_quality_threshold(double threshold) {
+  PHOTODTN_CHECK_MSG(threshold >= 0.0 && threshold <= 1.0,
+                     "quality threshold must be in [0, 1]");
+  PHOTODTN_CHECK_MSG(cache_.empty(),
+                     "set the quality threshold before computing footprints");
+  quality_threshold_ = threshold;
+}
+
+bool CoverageModel::covers(const PhotoMeta& photo, const PointOfInterest& poi) const {
+  if (photo.quality < quality_threshold_) return false;
+  return photo.sector().contains(poi.location);
+}
+
+PhotoFootprint CoverageModel::footprint(const PhotoMeta& photo) const {
+  PhotoFootprint fp;
+  fp.photo = photo.id;
+  if (photo.quality < quality_threshold_) return fp;  // disqualified (§II-C)
+  const Sector sector = photo.sector();
+  // The grid prunes to PoIs inside the sector's bounding circle; the exact
+  // sector test below decides. Candidates come back unordered, but PoiArcs
+  // must be sorted by index (CoverageMap and the evaluators rely on
+  // deterministic footprints).
+  index_.query(photo.location, photo.range, query_buf_);
+  std::sort(query_buf_.begin(), query_buf_.end());
+  for (const std::size_t i : query_buf_) {
+    const PointOfInterest& poi = pois_[i];
+    if (!sector.contains(poi.location)) continue;
+    // Viewing direction: vector from the PoI to the camera (x->l in the
+    // paper). An aspect v is covered iff angle(v, x->l) < theta.
+    const double view = (photo.location - poi.location).heading();
+    fp.arcs.push_back(PoiArc{i, Arc::centered(view, theta_)});
+  }
+  return fp;
+}
+
+const PhotoFootprint& CoverageModel::footprint_cached(const PhotoMeta& photo) const {
+  auto it = cache_.find(photo.id);
+  if (it != cache_.end()) return it->second;
+  return cache_.emplace(photo.id, footprint(photo)).first->second;
+}
+
+}  // namespace photodtn

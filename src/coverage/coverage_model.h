@@ -1,0 +1,72 @@
+// CoverageModel binds a PoI list and the effective angle theta, and reduces
+// each photo to its *footprint*: the set of PoIs it point-covers together
+// with the aspect arc it contributes to each (Section II-B). Footprints are
+// the unit every higher layer works with — they are cheap to cache and make
+// coverage computation independent of raw geometry.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "coverage/photo.h"
+#include "coverage/poi.h"
+#include "coverage/poi_index.h"
+#include "geometry/arc_set.h"
+
+namespace photodtn {
+
+/// One PoI covered by a photo: which PoI and the covered aspect arc
+/// (centered on the PoI->camera heading, width 2*theta).
+struct PoiArc {
+  std::size_t poi_index = 0;
+  Arc arc;
+};
+
+/// All PoIs a photo covers. An empty footprint means the photo is irrelevant
+/// to the task (covers no PoI) and can never contribute coverage.
+struct PhotoFootprint {
+  PhotoId photo = 0;
+  std::vector<PoiArc> arcs;
+
+  bool relevant() const noexcept { return !arcs.empty(); }
+};
+
+class CoverageModel {
+ public:
+  /// `effective_angle` is theta in radians (Table I uses 30 degrees).
+  CoverageModel(PoiList pois, double effective_angle);
+
+  const PoiList& pois() const noexcept { return pois_; }
+  double effective_angle() const noexcept { return theta_; }
+
+  /// Binary quality gate (Section II-C): photos with quality strictly below
+  /// the threshold get an empty footprint — they are never worth storage or
+  /// bandwidth. Default 0 admits everything. Must be set before any
+  /// footprint is computed (the footprint cache is keyed by photo id only).
+  void set_quality_threshold(double threshold);
+  double quality_threshold() const noexcept { return quality_threshold_; }
+
+  /// Computes the footprint of a photo: for every PoI inside the photo's
+  /// sector, the arc of aspects the photo covers.
+  PhotoFootprint footprint(const PhotoMeta& photo) const;
+
+  /// Memoizing variant — footprints are immutable per photo id, so repeated
+  /// lookups during selection hit the cache. Thread-compatible (not
+  /// thread-safe; each simulation run owns its model).
+  const PhotoFootprint& footprint_cached(const PhotoMeta& photo) const;
+
+  /// Whether a single photo point-covers the given PoI.
+  bool covers(const PhotoMeta& photo, const PointOfInterest& poi) const;
+
+ private:
+  PoiList pois_;
+  double theta_;
+  double quality_threshold_ = 0.0;
+  PoiIndex index_;
+  mutable std::vector<std::size_t> query_buf_;
+  mutable std::unordered_map<PhotoId, PhotoFootprint> cache_;
+};
+
+}  // namespace photodtn

@@ -1,0 +1,47 @@
+// The lexicographically ordered (point, aspect) pair of Definition 1.
+// Point coverage dominates: any point-coverage gain beats any aspect gain.
+#pragma once
+
+#include <compare>
+
+namespace photodtn {
+
+struct CoverageValue {
+  /// Sum of point coverage over the PoI list (weighted count of covered PoIs).
+  double point = 0.0;
+  /// Sum of aspect coverage over the PoI list (weighted radians).
+  double aspect = 0.0;
+
+  constexpr CoverageValue operator+(CoverageValue o) const noexcept {
+    return {point + o.point, aspect + o.aspect};
+  }
+  constexpr CoverageValue operator-(CoverageValue o) const noexcept {
+    return {point - o.point, aspect - o.aspect};
+  }
+  constexpr CoverageValue& operator+=(CoverageValue o) noexcept {
+    point += o.point;
+    aspect += o.aspect;
+    return *this;
+  }
+  constexpr CoverageValue operator*(double s) const noexcept {
+    return {point * s, aspect * s};
+  }
+
+  /// Lexicographic order: compare point coverage first, then aspect coverage
+  /// (Definition 1). Defaulted member-order comparison implements exactly
+  /// this because `point` is declared first.
+  constexpr auto operator<=>(const CoverageValue&) const noexcept = default;
+
+  constexpr bool is_zero() const noexcept { return point == 0.0 && aspect == 0.0; }
+
+  /// True when this value exceeds `o` by more than the given slacks in the
+  /// lexicographic sense — used by greedy loops to ignore floating-point
+  /// dust when deciding whether a photo still adds value.
+  constexpr bool exceeds(CoverageValue o, double eps = 1e-9) const noexcept {
+    if (point > o.point + eps) return true;
+    if (point < o.point - eps) return false;
+    return aspect > o.aspect + eps;
+  }
+};
+
+}  // namespace photodtn

@@ -1,0 +1,15 @@
+#include "coverage/photo.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace photodtn {
+
+Sector PhotoMeta::sector() const { return Sector{location, range, fov, orientation}; }
+
+double coverage_range_from_fov(double fov, double c) noexcept {
+  return c / std::tan(fov / 2.0);
+}
+
+}  // namespace photodtn

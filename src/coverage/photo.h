@@ -1,0 +1,55 @@
+// Photo metadata — the (l, r, phi, d) tuple of Section II-A plus the
+// bookkeeping identity/size/time fields the DTN layer needs. Metadata is the
+// only thing the framework ever inspects; pixel payloads are represented by
+// size_bytes alone.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+#include "geometry/sector.h"
+#include "geometry/vec2.h"
+
+namespace photodtn {
+
+using PhotoId = std::uint64_t;
+using NodeId = std::int32_t;
+
+/// Reserved node id of the command center (n_0 in the paper).
+inline constexpr NodeId kCommandCenter = 0;
+
+struct PhotoMeta {
+  PhotoId id = 0;
+  /// Node that originally took the photo.
+  NodeId taken_by = -1;
+  /// Camera location l (meters, local plane).
+  Vec2 location;
+  /// Coverage range r (meters): distance beyond which objects in the photo
+  /// are no longer recognizable.
+  double range = 0.0;
+  /// Field-of-view phi (radians).
+  double fov = 0.0;
+  /// Orientation d (radians): heading of the optical axis.
+  double orientation = 0.0;
+  /// Payload size in bytes (the full image, not the metadata).
+  std::uint64_t size_bytes = 0;
+  /// Capture time in seconds since the start of the crowdsourcing event.
+  double taken_at = 0.0;
+  /// Image quality in [0, 1] (sharpness/exposure score computed on-device).
+  /// Section II-C: quality is application-dependent; the model supports a
+  /// binary threshold that disqualifies bad photos before coverage is
+  /// computed (see CoverageModel::set_quality_threshold).
+  double quality = 1.0;
+
+  /// The coverage area of Fig. 1(a).
+  Sector sector() const;
+
+  bool operator==(const PhotoMeta&) const = default;
+};
+
+/// Coverage range from field-of-view, r = c * cot(phi/2) (Section IV-A):
+/// focal length grows with cot(phi/2) and recognizability scales with focal
+/// length. `c` in meters (the paper uses 50 m for buildings).
+double coverage_range_from_fov(double fov, double c) noexcept;
+
+}  // namespace photodtn

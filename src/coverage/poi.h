@@ -1,0 +1,33 @@
+// Points of Interest issued by the command center (Section II-A), with the
+// optional per-PoI weights discussed at the end of Section II-C.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coverage/aspect_profile.h"
+#include "geometry/vec2.h"
+
+namespace photodtn {
+
+struct PointOfInterest {
+  std::int32_t id = 0;
+  Vec2 location;
+  /// Importance weight; a covering photo earns `weight` point coverage and
+  /// aspect arcs are scaled by `weight` (default 1 reproduces the unweighted
+  /// model of Definition 1).
+  double weight = 1.0;
+  /// Optional per-aspect weighting (Section II-C: "assign different weights
+  /// to different aspects of a PoI", e.g. a building's main entrance).
+  /// nullptr means uniform weight 1 — the paper's base model.
+  std::shared_ptr<const AspectProfile> aspect_profile;
+
+  const AspectProfile* profile() const noexcept { return aspect_profile.get(); }
+
+  bool operator==(const PointOfInterest&) const = default;
+};
+
+using PoiList = std::vector<PointOfInterest>;
+
+}  // namespace photodtn

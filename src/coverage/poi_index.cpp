@@ -1,0 +1,63 @@
+#include "coverage/poi_index.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace photodtn {
+
+PoiIndex::PoiIndex(const PoiList& pois, double cell_m) : cell_m_(cell_m) {
+  PHOTODTN_CHECK_MSG(cell_m > 0.0, "grid pitch must be positive");
+  points_.reserve(pois.size());
+  for (const PointOfInterest& p : pois) points_.push_back(p.location);
+
+  table_size_ = points_.size() * 2 + 1;
+  buckets_.resize(table_size_);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const Cell c = cell_of(points_[i]);
+    auto& bucket = buckets_[bucket_of(c)];
+    bool placed = false;
+    for (auto& [cell, ids] : bucket) {
+      if (cell.x == c.x && cell.y == c.y) {
+        ids.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) bucket.push_back({c, {i}});
+  }
+}
+
+PoiIndex::Cell PoiIndex::cell_of(Vec2 p) const noexcept {
+  return {static_cast<std::int64_t>(std::floor(p.x / cell_m_)),
+          static_cast<std::int64_t>(std::floor(p.y / cell_m_))};
+}
+
+std::size_t PoiIndex::bucket_of(Cell c) const noexcept {
+  // 2-D cell hash (Szudzik-style mix).
+  const auto ux = static_cast<std::uint64_t>(c.x) * 0x9e3779b97f4a7c15ULL;
+  const auto uy = static_cast<std::uint64_t>(c.y) * 0xc2b2ae3d27d4eb4fULL;
+  return static_cast<std::size_t>((ux ^ uy) % table_size_);
+}
+
+void PoiIndex::query(Vec2 center, double radius, std::vector<std::size_t>& out) const {
+  out.clear();
+  if (points_.empty()) return;
+  const Cell lo = cell_of({center.x - radius, center.y - radius});
+  const Cell hi = cell_of({center.x + radius, center.y + radius});
+  const double r2 = radius * radius;
+  for (std::int64_t cx = lo.x; cx <= hi.x; ++cx) {
+    for (std::int64_t cy = lo.y; cy <= hi.y; ++cy) {
+      const Cell c{cx, cy};
+      const auto& bucket = buckets_[bucket_of(c)];
+      for (const auto& [cell, ids] : bucket) {
+        if (cell.x != cx || cell.y != cy) continue;
+        for (const std::size_t i : ids) {
+          if ((points_[i] - center).norm_sq() <= r2) out.push_back(i);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace photodtn

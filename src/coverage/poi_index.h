@@ -1,0 +1,45 @@
+// Uniform-grid spatial index over a PoI list. Footprint computation tests
+// each photo's sector against candidate PoIs; with hundreds of PoIs and a
+// sector radius far below the region size, scanning every PoI per photo is
+// the hot loop of the whole framework. The grid returns only PoIs within
+// the sector's bounding circle.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coverage/poi.h"
+#include "geometry/vec2.h"
+
+namespace photodtn {
+
+class PoiIndex {
+ public:
+  /// `cell_m` is the grid pitch; a good default is the typical query
+  /// radius (photo coverage range).
+  explicit PoiIndex(const PoiList& pois, double cell_m = 250.0);
+
+  /// Indices (into the PoiList) of all PoIs within `radius` of `center`
+  /// — plus possibly a few just outside (callers re-check exactly), never
+  /// missing one inside.
+  void query(Vec2 center, double radius, std::vector<std::size_t>& out) const;
+
+  std::size_t size() const noexcept { return points_.size(); }
+
+ private:
+  struct Cell {
+    std::int64_t x;
+    std::int64_t y;
+  };
+  Cell cell_of(Vec2 p) const noexcept;
+  std::size_t bucket_of(Cell c) const noexcept;
+
+  double cell_m_;
+  std::vector<Vec2> points_;
+  // Open-addressed bucket table: cell -> list of poi indices. Sized to the
+  // number of distinct occupied cells; collisions chain within buckets_.
+  std::size_t table_size_ = 0;
+  std::vector<std::vector<std::pair<Cell, std::vector<std::size_t>>>> buckets_;
+};
+
+}  // namespace photodtn

@@ -1,0 +1,45 @@
+// A DTN node: photo buffer plus the routing state every scheme may consult
+// (PROPHET delivery predictabilities toward the command center and the
+// online inter-contact rate estimate used by metadata validation).
+// Scheme-specific state (metadata caches, spray counters) lives inside the
+// scheme objects, keyed by NodeId, keeping this layer protocol-agnostic.
+#pragma once
+
+#include "dtn/photo_store.h"
+#include "routing/prophet.h"
+#include "routing/rate_estimator.h"
+
+namespace photodtn {
+
+class Node {
+ public:
+  Node(NodeId id, std::uint64_t storage_bytes, const ProphetConfig& prophet_cfg)
+      : id_(id), store_(storage_bytes), prophet_(prophet_cfg, id) {}
+
+  NodeId id() const noexcept { return id_; }
+  bool is_command_center() const noexcept { return id_ == kCommandCenter; }
+
+  PhotoStore& store() noexcept { return store_; }
+  const PhotoStore& store() const noexcept { return store_; }
+
+  ProphetTable& prophet() noexcept { return prophet_; }
+  const ProphetTable& prophet() const noexcept { return prophet_; }
+
+  RateEstimator& rates() noexcept { return rates_; }
+  const RateEstimator& rates() const noexcept { return rates_; }
+
+  /// Delivery probability p_i toward the command center (1 for the center).
+  double delivery_prob(double now) {
+    if (is_command_center()) return 1.0;
+    prophet_.age(now);
+    return prophet_.delivery_prob(kCommandCenter);
+  }
+
+ private:
+  NodeId id_;
+  PhotoStore store_;
+  ProphetTable prophet_;
+  RateEstimator rates_;
+};
+
+}  // namespace photodtn

@@ -1,0 +1,41 @@
+#include "dtn/photo_store.h"
+
+#include "util/check.h"
+
+namespace photodtn {
+
+const PhotoMeta* PhotoStore::find(PhotoId id) const {
+  const auto it = photos_.find(id);
+  return it == photos_.end() ? nullptr : &it->second;
+}
+
+bool PhotoStore::add(const PhotoMeta& photo) {
+  if (contains(photo.id)) return false;
+  if (!can_fit(photo.size_bytes)) return false;
+  photos_.emplace(photo.id, photo);
+  used_ += photo.size_bytes;
+  return true;
+}
+
+bool PhotoStore::remove(PhotoId id) {
+  const auto it = photos_.find(id);
+  if (it == photos_.end()) return false;
+  PHOTODTN_CHECK(used_ >= it->second.size_bytes);
+  used_ -= it->second.size_bytes;
+  photos_.erase(it);
+  return true;
+}
+
+std::vector<PhotoMeta> PhotoStore::photos() const {
+  std::vector<PhotoMeta> out;
+  out.reserve(photos_.size());
+  for (const auto& [id, p] : photos_) out.push_back(p);
+  return out;
+}
+
+void PhotoStore::clear() {
+  photos_.clear();
+  used_ = 0;
+}
+
+}  // namespace photodtn

@@ -1,0 +1,58 @@
+// A node's photo buffer with a byte-capacity budget (the storage constraint
+// S_a of Section III-D). Stores full metadata; payload bytes are accounted,
+// not materialized.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "coverage/photo.h"
+
+namespace photodtn {
+
+class PhotoStore {
+ public:
+  static constexpr std::uint64_t kUnlimited = ~0ULL;
+
+  explicit PhotoStore(std::uint64_t capacity_bytes = kUnlimited)
+      : capacity_(capacity_bytes) {}
+
+  bool contains(PhotoId id) const { return photos_.count(id) != 0; }
+  /// nullptr when absent; pointer invalidated by add/remove.
+  const PhotoMeta* find(PhotoId id) const;
+
+  bool can_fit(std::uint64_t bytes) const noexcept {
+    return capacity_ == kUnlimited || used_ + bytes <= capacity_;
+  }
+
+  /// Adds a photo. Returns false (no side effects) if a duplicate or if it
+  /// does not fit.
+  bool add(const PhotoMeta& photo);
+
+  /// Removes a photo; returns false if absent.
+  bool remove(PhotoId id);
+
+  std::uint64_t used_bytes() const noexcept { return used_; }
+  std::uint64_t capacity_bytes() const noexcept { return capacity_; }
+  std::uint64_t free_bytes() const noexcept {
+    return capacity_ == kUnlimited ? kUnlimited : capacity_ - used_;
+  }
+  std::size_t size() const noexcept { return photos_.size(); }
+  bool empty() const noexcept { return photos_.empty(); }
+
+  /// Snapshot of stored photos (unordered).
+  std::vector<PhotoMeta> photos() const;
+
+  /// Direct iteration without copying.
+  const std::unordered_map<PhotoId, PhotoMeta>& map() const noexcept { return photos_; }
+
+  void clear();
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::unordered_map<PhotoId, PhotoMeta> photos_;
+};
+
+}  // namespace photodtn

@@ -1,0 +1,39 @@
+// The strategy interface every photo-dissemination scheme implements.
+// The simulator drives the trace and byte/storage accounting; schemes decide
+// *which* photos move or get dropped at each opportunity.
+#pragma once
+
+#include <string>
+
+#include "coverage/photo.h"
+
+namespace photodtn {
+
+class SimContext;
+class ContactSession;
+
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before the event loop (after nodes are constructed).
+  virtual void init(SimContext& /*ctx*/) {}
+
+  /// A participant just took a photo. The photo is NOT stored automatically:
+  /// the scheme decides whether to keep it and what to evict. Default
+  /// implementations in subclasses typically store if space allows.
+  virtual void on_photo_taken(SimContext& ctx, NodeId node, const PhotoMeta& photo) = 0;
+
+  /// A contact opportunity. `session` enforces the byte budget and storage
+  /// constraints; the scheme issues transfers/drops through it.
+  virtual void on_contact(SimContext& ctx, ContactSession& session) = 0;
+
+  /// BestPossible sets these: the experiment runner lifts storage and
+  /// bandwidth constraints for schemes that request it (Section V-B).
+  virtual bool wants_unlimited_storage() const { return false; }
+  virtual bool wants_unlimited_bandwidth() const { return false; }
+};
+
+}  // namespace photodtn

@@ -1,0 +1,187 @@
+#include "dtn/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace photodtn {
+
+ContactSession::ContactSession(Simulator& sim, const Contact& contact,
+                               std::uint64_t budget, bool unlimited)
+    : sim_(sim), contact_(contact), budget_(budget), unlimited_(unlimited) {}
+
+bool ContactSession::consume(std::uint64_t bytes) noexcept {
+  if (unlimited_) return true;
+  if (bytes > budget_) {
+    budget_ = 0;
+    return false;
+  }
+  budget_ -= bytes;
+  return true;
+}
+
+bool ContactSession::transfer(PhotoId photo, NodeId from, NodeId to, bool keep_source) {
+  PHOTODTN_CHECK_MSG((from == contact_.a && to == contact_.b) ||
+                         (from == contact_.b && to == contact_.a),
+                     "transfer endpoints must match the contact");
+  Node& src = sim_.node(from);
+  Node& dst = sim_.node(to);
+  const PhotoMeta* meta = src.store().find(photo);
+  if (meta == nullptr) {
+    ++sim_.counters_.failed_transfers;
+    return false;
+  }
+  if (dst.store().contains(photo)) {
+    ++sim_.counters_.failed_transfers;
+    return false;
+  }
+  const std::uint64_t bytes = meta->size_bytes;
+  if (!can_transfer(bytes) || !dst.store().can_fit(bytes)) {
+    ++sim_.counters_.failed_transfers;
+    return false;
+  }
+  const PhotoMeta copy = *meta;  // copy before any mutation invalidates `meta`
+  const bool added = dst.store().add(copy);
+  PHOTODTN_CHECK(added);
+  if (!unlimited_) budget_ -= bytes;
+  ++sim_.counters_.transfers;
+  sim_.counters_.bytes_transferred += bytes;
+  sim_.emit(SimEvent::Type::kTransfer, from, to, photo);
+  if (!keep_source) src.store().remove(photo);
+  if (to == kCommandCenter) sim_.register_delivery(from, copy);
+  return true;
+}
+
+Simulator::Simulator(const CoverageModel& model, const ContactTrace& trace,
+                     std::vector<PhotoEvent> photo_events, SimConfig config)
+    : model_(&model),
+      trace_(&trace),
+      photo_events_(std::move(photo_events)),
+      config_(config),
+      rng_(config.seed),
+      cc_coverage_(model) {
+  std::sort(photo_events_.begin(), photo_events_.end(),
+            [](const PhotoEvent& x, const PhotoEvent& y) { return x.time < y.time; });
+  const std::uint64_t storage =
+      config_.unlimited_storage ? PhotoStore::kUnlimited : config_.node_storage_bytes;
+  nodes_.reserve(static_cast<std::size_t>(trace.num_nodes()));
+  for (NodeId i = 0; i < trace.num_nodes(); ++i) {
+    nodes_.emplace_back(i, i == kCommandCenter ? PhotoStore::kUnlimited : storage,
+                        config_.prophet);
+  }
+}
+
+Node& Simulator::node(NodeId id) {
+  PHOTODTN_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+                     "node id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+bool Simulator::store_photo(NodeId id, const PhotoMeta& photo) {
+  return node(id).store().add(photo);
+}
+
+bool Simulator::drop_photo(NodeId id, PhotoId photo) {
+  if (id == kCommandCenter) return false;  // the center never drops (§III-C)
+  const bool removed = node(id).store().remove(photo);
+  if (removed) {
+    ++counters_.drops;
+    emit(SimEvent::Type::kDrop, id, -1, photo);
+  }
+  return removed;
+}
+
+void Simulator::register_delivery(NodeId from, const PhotoMeta& photo) {
+  ++delivered_;
+  delivered_ids_.push_back(photo.id);
+  cc_coverage_.add(model_->footprint_cached(photo));
+  emit(SimEvent::Type::kDelivery, from, kCommandCenter, photo.id);
+}
+
+void Simulator::take_sample() {
+  SimSample s;
+  s.time = now_;
+  s.point_coverage = cc_coverage_.normalized_point();
+  s.aspect_coverage = cc_coverage_.normalized_aspect();
+  s.full_view_coverage = cc_coverage_.full_view_fraction();
+  s.delivered_photos = delivered_;
+  s.bytes_transferred = counters_.bytes_transferred;
+  samples_.push_back(s);
+}
+
+SimResult Simulator::run(Scheme& scheme) {
+  PHOTODTN_CHECK_MSG(!ran_, "Simulator::run is single-shot; construct a new instance");
+  ran_ = true;
+
+  scheme.init(*this);
+
+  const auto& contacts = trace_->contacts();
+  std::size_t ci = 0;  // next contact
+  std::size_t pi = 0;  // next photo event
+  double next_sample = 0.0;
+
+  auto next_event_time = [&]() {
+    double t = trace_->horizon();
+    if (ci < contacts.size()) t = std::min(t, contacts[ci].start);
+    if (pi < photo_events_.size()) t = std::min(t, photo_events_[pi].time);
+    return t;
+  };
+
+  while (ci < contacts.size() || pi < photo_events_.size()) {
+    const double t = next_event_time();
+    while (next_sample <= t) {
+      now_ = next_sample;
+      take_sample();
+      next_sample += config_.sample_interval_s;
+    }
+    now_ = t;
+    // Photo events strictly before concurrent contacts: a photo taken at the
+    // instant of a contact is available to that contact.
+    if (pi < photo_events_.size() && photo_events_[pi].time <= t &&
+        (ci >= contacts.size() || photo_events_[pi].time <= contacts[ci].start)) {
+      const PhotoEvent& ev = photo_events_[pi++];
+      PHOTODTN_CHECK_MSG(ev.node > kCommandCenter && ev.node < num_nodes(),
+                         "photo taken by unknown node");
+      ++counters_.photos_taken;
+      emit(SimEvent::Type::kPhotoTaken, ev.node, -1, ev.photo.id);
+      scheme.on_photo_taken(*this, ev.node, ev.photo);
+      continue;
+    }
+    const Contact& c = contacts[ci++];
+    ++counters_.contacts;
+    emit(SimEvent::Type::kContact, c.a, c.b, 0);
+    Node& na = node(c.a);
+    Node& nb = node(c.b);
+    na.rates().record_contact(c.b, c.start);
+    nb.rates().record_contact(c.a, c.start);
+    ProphetTable::encounter(na.prophet(), nb.prophet(), c.start);
+
+    const bool unlimited = config_.unlimited_bandwidth;
+    const double payload_time = std::max(0.0, c.duration - config_.contact_setup_s);
+    const double cap = config_.bandwidth_bytes_per_s * payload_time;
+    const auto budget =
+        unlimited ? ~0ULL : static_cast<std::uint64_t>(std::max(0.0, cap));
+    ContactSession session(*this, c, budget, unlimited);
+    scheme.on_contact(*this, session);
+  }
+
+  // Trailing samples up to and including the horizon.
+  while (next_sample <= trace_->horizon() + 1e-9) {
+    now_ = next_sample;
+    take_sample();
+    next_sample += config_.sample_interval_s;
+  }
+
+  SimResult result;
+  result.samples = std::move(samples_);
+  result.final_coverage = cc_coverage_.total();
+  result.final_point_norm = cc_coverage_.normalized_point();
+  result.final_aspect_norm = cc_coverage_.normalized_aspect();
+  result.delivered_photos = delivered_;
+  result.delivered_ids = std::move(delivered_ids_);
+  result.counters = counters_;
+  return result;
+}
+
+}  // namespace photodtn

@@ -1,0 +1,226 @@
+// Event-driven DTN simulator. Replays a contact trace plus a photo-capture
+// workload against a pluggable dissemination Scheme, enforcing the paper's
+// three resource constraints: contact opportunities (the trace), per-contact
+// transmission capacity (bandwidth x duration), and per-node storage.
+// Node 0 is the command center; its store is unbounded and photos arriving
+// there count as delivered (it never drops — Section III-C).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "coverage/coverage_map.h"
+#include "coverage/coverage_model.h"
+#include "dtn/node.h"
+#include "dtn/scheme.h"
+#include "trace/contact_trace.h"
+#include "util/rng.h"
+
+namespace photodtn {
+
+struct SimConfig {
+  /// Participant storage S_i in bytes (Table I sweeps 0.15–1.2 GB).
+  std::uint64_t node_storage_bytes = 600ULL * 1000 * 1000;
+  /// Pairwise transmission bandwidth (Section V-C uses 2 MB/s).
+  double bandwidth_bytes_per_s = 2.0e6;
+  /// Lift the per-contact byte budget entirely (BestPossible).
+  bool unlimited_bandwidth = false;
+  /// Lift participant storage limits (BestPossible).
+  bool unlimited_storage = false;
+  /// Link setup overhead per contact (neighbor discovery, pairing): the
+  /// first `contact_setup_s` seconds of every contact carry no payload.
+  /// The paper idealizes this away (0); the ablation bench sweeps it.
+  double contact_setup_s = 0.0;
+  /// Bandwidth cost of metadata, per photo record exchanged. The paper
+  /// treats metadata as free ("just a couple of floating point numbers");
+  /// schemes that exchange metadata charge this against the contact budget
+  /// via ContactSession::consume.
+  std::uint64_t metadata_bytes_per_photo = 0;
+  /// Interval between coverage samples recorded in the result.
+  double sample_interval_s = 10.0 * 3600.0;
+  ProphetConfig prophet;
+  std::uint64_t seed = 1;
+};
+
+/// A photo-capture event in the workload.
+struct PhotoEvent {
+  double time = 0.0;
+  NodeId node = -1;
+  PhotoMeta photo;
+};
+
+/// One point of the coverage-vs-time series (normalized per Section V-B).
+struct SimSample {
+  double time = 0.0;
+  double point_coverage = 0.0;   // fraction of PoI weight point-covered
+  double aspect_coverage = 0.0;  // mean weighted aspect radians per PoI
+  double full_view_coverage = 0.0;  // fraction of PoIs with the full 2*pi ring
+  std::uint64_t delivered_photos = 0;
+  std::uint64_t bytes_transferred = 0;
+};
+
+/// One observable simulator event, for debugging, tracing, and timeline
+/// tools. Delivered to the listener synchronously, in simulation order.
+struct SimEvent {
+  enum class Type {
+    kContact,     // a/b: endpoints
+    kPhotoTaken,  // a: photographer, photo
+    kTransfer,    // a: source, b: destination, photo
+    kDrop,        // a: holder, photo
+    kDelivery,    // a: source, photo (arrived at the command center)
+  };
+  Type type{};
+  double time = 0.0;
+  NodeId a = -1;
+  NodeId b = -1;
+  PhotoId photo = 0;
+};
+
+using SimEventListener = std::function<void(const SimEvent&)>;
+
+struct SimCounters {
+  std::uint64_t contacts = 0;
+  std::uint64_t photos_taken = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t bytes_transferred = 0;
+  std::uint64_t failed_transfers = 0;
+  std::uint64_t drops = 0;
+};
+
+struct SimResult {
+  std::vector<SimSample> samples;
+  CoverageValue final_coverage;
+  double final_point_norm = 0.0;
+  double final_aspect_norm = 0.0;
+  std::uint64_t delivered_photos = 0;
+  /// Ids of the photos the command center received, in delivery order.
+  /// Lets callers re-evaluate the delivered set against ground-truth
+  /// metadata when the workload applied sensor noise.
+  std::vector<PhotoId> delivered_ids;
+  SimCounters counters;
+};
+
+class Simulator;
+
+/// The services a Scheme may use. Implemented by Simulator; split out so
+/// schemes can be unit-tested against a mock.
+class SimContext {
+ public:
+  virtual ~SimContext() = default;
+
+  virtual double now() const = 0;
+  virtual const CoverageModel& model() const = 0;
+  virtual Node& node(NodeId id) = 0;
+  virtual NodeId num_nodes() const = 0;
+  virtual const SimConfig& config() const = 0;
+  virtual Rng& rng() = 0;
+
+  /// Stores a photo at a node if it fits (no eviction); counts storage-full
+  /// rejections. Used from on_photo_taken.
+  virtual bool store_photo(NodeId node, const PhotoMeta& photo) = 0;
+
+  /// Drops a photo from a node's buffer. The command center never drops
+  /// (returns false).
+  virtual bool drop_photo(NodeId node, PhotoId photo) = 0;
+};
+
+/// A live contact: byte budget plus transfer primitive.
+class ContactSession {
+ public:
+  ContactSession(Simulator& sim, const Contact& contact, std::uint64_t budget,
+                 bool unlimited);
+
+  NodeId a() const noexcept { return contact_.a; }
+  NodeId b() const noexcept { return contact_.b; }
+  NodeId peer(NodeId n) const noexcept { return contact_.a == n ? contact_.b : contact_.a; }
+  double start() const noexcept { return contact_.start; }
+  double duration() const noexcept { return contact_.duration; }
+  bool involves_command_center() const noexcept {
+    return contact_.involves(kCommandCenter);
+  }
+
+  bool unlimited() const noexcept { return unlimited_; }
+  std::uint64_t budget_bytes() const noexcept { return budget_; }
+  bool can_transfer(std::uint64_t bytes) const noexcept {
+    return unlimited_ || bytes <= budget_;
+  }
+
+  /// Charges non-payload bytes (metadata exchange) against the budget.
+  /// Returns false (consuming whatever remained) if the budget ran dry —
+  /// the contact then has no capacity left for photos either.
+  bool consume(std::uint64_t bytes) noexcept;
+
+  /// Copies `photo` from `from` to `to`, consuming budget. With
+  /// keep_source=false the source's copy is removed after a successful
+  /// transfer (a hand-off, e.g. spraying half the copies does NOT use this —
+  /// only full relinquishment). Returns false without side effects if the
+  /// photo is missing at the source, already present at the destination,
+  /// the budget is insufficient, or the destination lacks space.
+  bool transfer(PhotoId photo, NodeId from, NodeId to, bool keep_source = true);
+
+ private:
+  Simulator& sim_;
+  Contact contact_;
+  std::uint64_t budget_;
+  bool unlimited_;
+};
+
+class Simulator : public SimContext {
+ public:
+  /// `model` and `trace` must outlive the simulator.
+  Simulator(const CoverageModel& model, const ContactTrace& trace,
+            std::vector<PhotoEvent> photo_events, SimConfig config);
+
+  /// Runs the whole trace under `scheme` and returns the metric series.
+  /// A Simulator instance is single-shot: construct a fresh one per run.
+  SimResult run(Scheme& scheme);
+
+  /// Observes every simulation event (contacts, captures, transfers, drops,
+  /// deliveries). Set before run(); pass nullptr to disable. The listener
+  /// must not mutate simulation state.
+  void set_event_listener(SimEventListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  // SimContext interface.
+  double now() const override { return now_; }
+  const CoverageModel& model() const override { return *model_; }
+  Node& node(NodeId id) override;
+  NodeId num_nodes() const override { return static_cast<NodeId>(nodes_.size()); }
+  const SimConfig& config() const override { return config_; }
+  Rng& rng() override { return rng_; }
+  bool store_photo(NodeId node, const PhotoMeta& photo) override;
+  bool drop_photo(NodeId node, PhotoId photo) override;
+
+  /// Coverage achieved by the command center so far (read-only; schemes
+  /// must not consult this — they only see metadata acknowledgments).
+  const CoverageMap& command_center_coverage() const noexcept { return cc_coverage_; }
+
+ private:
+  friend class ContactSession;
+  void register_delivery(NodeId from, const PhotoMeta& photo);
+  void take_sample();
+  void emit(SimEvent::Type type, NodeId a, NodeId b, PhotoId photo) const {
+    if (listener_) listener_(SimEvent{type, now_, a, b, photo});
+  }
+
+  const CoverageModel* model_;
+  const ContactTrace* trace_;
+  std::vector<PhotoEvent> photo_events_;
+  SimConfig config_;
+  Rng rng_;
+
+  std::vector<Node> nodes_;
+  CoverageMap cc_coverage_;
+  double now_ = 0.0;
+  bool ran_ = false;
+  SimCounters counters_;
+  std::uint64_t delivered_ = 0;
+  std::vector<PhotoId> delivered_ids_;
+  std::vector<SimSample> samples_;
+  SimEventListener listener_;
+};
+
+}  // namespace photodtn

@@ -1,0 +1,21 @@
+#include "geometry/angle.h"
+
+#include <cmath>
+
+namespace photodtn {
+
+double normalize_angle(double radians) noexcept {
+  double a = std::fmod(radians, kTwoPi);
+  if (a < 0.0) a += kTwoPi;
+  // fmod of a value just below a multiple of 2*pi can round to exactly 2*pi
+  // after the correction; clamp so the result stays in [0, 2*pi).
+  if (a >= kTwoPi) a = 0.0;
+  return a;
+}
+
+double angle_distance(double a, double b) noexcept {
+  const double d = std::fabs(normalize_angle(a) - normalize_angle(b));
+  return d > std::numbers::pi ? kTwoPi - d : d;
+}
+
+}  // namespace photodtn

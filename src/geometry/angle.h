@@ -1,0 +1,26 @@
+// Angle helpers. All angles in this codebase are radians; the aspect circle
+// of a PoI is parameterized by [0, 2*pi) as in Section II-B of the paper
+// (the paper measures clockwise from east on a map; in our x/y plane the
+// parameterization direction is irrelevant as long as it is consistent).
+#pragma once
+
+#include <numbers>
+
+namespace photodtn {
+
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Normalizes any finite angle to [0, 2*pi).
+double normalize_angle(double radians) noexcept;
+
+/// Smallest absolute difference between two angles, in [0, pi].
+double angle_distance(double a, double b) noexcept;
+
+constexpr double deg_to_rad(double deg) noexcept {
+  return deg * std::numbers::pi / 180.0;
+}
+constexpr double rad_to_deg(double rad) noexcept {
+  return rad * 180.0 / std::numbers::pi;
+}
+
+}  // namespace photodtn

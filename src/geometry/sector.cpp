@@ -1,0 +1,24 @@
+#include "geometry/sector.h"
+
+#include "geometry/angle.h"
+#include "util/check.h"
+
+namespace photodtn {
+
+Sector::Sector(Vec2 apex, double range, double fov, double orientation)
+    : apex_(apex), range_(range), fov_(fov), orientation_(normalize_angle(orientation)) {
+  PHOTODTN_CHECK_MSG(range > 0.0, "sector range must be positive");
+  PHOTODTN_CHECK_MSG(fov > 0.0 && fov <= kTwoPi, "fov must be in (0, 2*pi]");
+}
+
+bool Sector::contains(Vec2 p) const noexcept {
+  const Vec2 rel = p - apex_;
+  const double d2 = rel.norm_sq();
+  if (d2 > range_ * range_) return false;
+  if (d2 == 0.0) return true;  // the apex itself counts as covered
+  return angle_distance(rel.heading(), orientation_) <= fov_ / 2.0 + 1e-12;
+}
+
+double Sector::area() const noexcept { return 0.5 * fov_ * range_ * range_; }
+
+}  // namespace photodtn

@@ -1,0 +1,32 @@
+// Camera coverage area: the circular sector of Fig. 1(a), determined by the
+// camera location l, coverage range r, field-of-view phi, and orientation d.
+#pragma once
+
+#include "geometry/vec2.h"
+
+namespace photodtn {
+
+class Sector {
+ public:
+  /// `orientation` is the heading (radians) of the optical axis; `fov` the
+  /// full field-of-view angle (radians, in (0, 2*pi]); `range` in meters > 0.
+  Sector(Vec2 apex, double range, double fov, double orientation);
+
+  /// Whether point p lies inside the sector (boundary inclusive).
+  bool contains(Vec2 p) const noexcept;
+
+  Vec2 apex() const noexcept { return apex_; }
+  double range() const noexcept { return range_; }
+  double fov() const noexcept { return fov_; }
+  double orientation() const noexcept { return orientation_; }
+  /// Area of the sector in square meters: fov/2 * r^2.
+  double area() const noexcept;
+
+ private:
+  Vec2 apex_;
+  double range_;
+  double fov_;
+  double orientation_;
+};
+
+}  // namespace photodtn

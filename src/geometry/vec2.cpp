@@ -1,0 +1,22 @@
+#include "geometry/vec2.h"
+
+#include "geometry/angle.h"
+
+namespace photodtn {
+
+Vec2 Vec2::normalized() const noexcept {
+  const double n = norm();
+  if (n == 0.0) return {1.0, 0.0};
+  return {x / n, y / n};
+}
+
+double Vec2::heading() const noexcept {
+  if (x == 0.0 && y == 0.0) return 0.0;
+  return normalize_angle(std::atan2(y, x));
+}
+
+Vec2 Vec2::from_heading(double radians) noexcept {
+  return {std::cos(radians), std::sin(radians)};
+}
+
+}  // namespace photodtn

@@ -1,0 +1,48 @@
+// 2-D planar vector. The paper works in a local metric plane (a 6300 m x
+// 6300 m region), so we use Cartesian coordinates in meters rather than
+// geodetic lat/lon; workload::SensorModel converts GPS-style noise to meters.
+#pragma once
+
+#include <cmath>
+
+namespace photodtn {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const noexcept { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) noexcept { x += o.x; y += o.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 o) noexcept { x -= o.x; y -= o.y; return *this; }
+  constexpr bool operator==(const Vec2&) const noexcept = default;
+
+  constexpr double dot(Vec2 o) const noexcept { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product; >0 when `o` is counter-clockwise
+  /// from *this.
+  constexpr double cross(Vec2 o) const noexcept { return x * o.y - y * o.x; }
+  double norm() const noexcept { return std::hypot(x, y); }
+  constexpr double norm_sq() const noexcept { return x * x + y * y; }
+  double distance_to(Vec2 o) const noexcept { return (*this - o).norm(); }
+
+  /// Unit vector in the same direction; the zero vector maps to (1, 0) so
+  /// callers never receive NaNs (coverage code treats a camera placed exactly
+  /// on a PoI as viewing it from the east).
+  Vec2 normalized() const noexcept;
+
+  /// Heading of this vector in radians, normalized to [0, 2*pi).
+  /// 0 = east (+x); angles grow counter-clockwise (standard math convention).
+  double heading() const noexcept;
+
+  /// Unit vector at the given heading.
+  static Vec2 from_heading(double radians) noexcept;
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) noexcept { return v * s; }
+
+}  // namespace photodtn

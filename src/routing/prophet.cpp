@@ -1,0 +1,53 @@
+#include "routing/prophet.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace photodtn {
+
+void ProphetTable::age(double now) {
+  PHOTODTN_CHECK_MSG(now + 1e-9 >= last_aged_, "time moved backwards in PROPHET aging");
+  if (now <= last_aged_) return;
+  const double k = (now - last_aged_) / cfg_.aging_time_unit_s;
+  const double factor = std::pow(cfg_.gamma, k);
+  for (auto& [node, p] : table_) p *= factor;
+  last_aged_ = now;
+}
+
+double ProphetTable::delivery_prob(NodeId dest) const {
+  if (dest == self_) return 1.0;
+  const auto it = table_.find(dest);
+  return it == table_.end() ? 0.0 : it->second;
+}
+
+void ProphetTable::direct_update(NodeId peer) {
+  double& p = table_[peer];
+  p = p + (1.0 - p) * cfg_.p_init;
+}
+
+void ProphetTable::transitive_update(
+    const std::unordered_map<NodeId, double>& peer_snapshot, NodeId peer) {
+  const double p_ab = table_[peer];
+  for (const auto& [c, p_bc] : peer_snapshot) {
+    if (c == self_ || c == peer) continue;
+    double& p_ac = table_[c];
+    p_ac = p_ac + (1.0 - p_ac) * p_ab * p_bc * cfg_.beta;
+  }
+}
+
+void ProphetTable::encounter(ProphetTable& a, ProphetTable& b, double now) {
+  PHOTODTN_CHECK_MSG(a.self_ != b.self_, "node encountering itself");
+  a.age(now);
+  b.age(now);
+  // Snapshot both tables before the direct updates so the transitive rule
+  // uses the peer's pre-encounter predictabilities symmetrically.
+  const auto snap_a = a.table_;
+  const auto snap_b = b.table_;
+  a.direct_update(b.self_);
+  b.direct_update(a.self_);
+  a.transitive_update(snap_b, b.self_);
+  b.transitive_update(snap_a, a.self_);
+}
+
+}  // namespace photodtn

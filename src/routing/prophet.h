@@ -1,0 +1,59 @@
+// PROPHET delivery predictability (Lindgren, Doria, Schelén — the protocol
+// referenced in Section III-C). Each node keeps P(self, x) for every other
+// node, updated by three rules:
+//   encounter:    P(a,b) <- P(a,b) + (1 - P(a,b)) * P_init
+//   aging:        P(a,x) <- P(a,x) * gamma^k        (k time units elapsed)
+//   transitivity: P(a,c) <- P(a,c) + (1 - P(a,c)) * P(a,b) * P(b,c) * beta
+// The paper uses P(n_i, command center) as the delivery probability p_i.
+#pragma once
+
+#include <unordered_map>
+
+#include "coverage/photo.h"  // NodeId
+
+namespace photodtn {
+
+struct ProphetConfig {
+  double p_init = 0.75;
+  double beta = 0.25;
+  double gamma = 0.98;
+  /// Length of one aging time unit in seconds. The original protocol leaves
+  /// the unit abstract; we default to 10 minutes, which with gamma = 0.98
+  /// halves a predictability in about 5.7 hours.
+  double aging_time_unit_s = 600.0;
+};
+
+class ProphetTable {
+ public:
+  ProphetTable() = default;
+  ProphetTable(ProphetConfig cfg, NodeId self) : cfg_(cfg), self_(self) {}
+
+  NodeId self() const noexcept { return self_; }
+
+  /// Applies aging to all entries up to `now`. Idempotent for equal `now`.
+  void age(double now);
+
+  /// Delivery predictability from self to dest (aged to the last update
+  /// time). Unknown destinations have probability 0; self has 1.
+  double delivery_prob(NodeId dest) const;
+
+  /// Symmetric encounter update of both tables at time `now`: aging, the
+  /// direct-encounter rule on each side, then the transitive rule each way
+  /// using a pre-update snapshot of the peer (the standard formulation).
+  static void encounter(ProphetTable& a, ProphetTable& b, double now);
+
+  const std::unordered_map<NodeId, double>& entries() const noexcept { return table_; }
+  const ProphetConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void direct_update(NodeId peer);
+  void transitive_update(const std::unordered_map<NodeId, double>& peer_snapshot,
+                         NodeId peer);
+
+  ProphetConfig cfg_;
+  NodeId self_ = -1;
+  double last_aged_ = 0.0;
+  std::unordered_map<NodeId, double> table_;
+};
+
+}  // namespace photodtn

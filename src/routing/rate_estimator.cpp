@@ -1,0 +1,28 @@
+#include "routing/rate_estimator.h"
+
+#include <algorithm>
+
+namespace photodtn {
+
+void RateEstimator::record_contact(NodeId peer, double now) {
+  (void)now;
+  ++counts_[peer];
+  ++total_;
+}
+
+double RateEstimator::observation_time(double now) const {
+  return std::max(now - start_, 1.0);  // floor at 1 s to avoid division blowup
+}
+
+double RateEstimator::rate_with(NodeId peer, double now) const {
+  const auto it = counts_.find(peer);
+  if (it == counts_.end()) return 0.0;
+  return static_cast<double>(it->second) / observation_time(now);
+}
+
+double RateEstimator::aggregate_rate(double now) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(total_) / observation_time(now);
+}
+
+}  // namespace photodtn

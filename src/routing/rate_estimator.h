@@ -1,0 +1,42 @@
+// Online estimation of pairwise inter-contact rates lambda_ab and of the
+// aggregate rate lambda_a = sum_b lambda_ab (Section III-B). The paper's
+// metadata-validity rule (eq. 1) evaluates P{T_a < t} = 1 - exp(-lambda_a t)
+// with lambda_a shared by node a during contacts.
+//
+// Estimator: the Poisson-process MLE lambda = N / T, where N is the number
+// of observed contacts with the peer and T the observation time (time since
+// this estimator started observing). This converges to the true pairwise
+// rate for exponential inter-contact processes and degrades gracefully on
+// real traces (no distributional fitting step).
+#pragma once
+
+#include <unordered_map>
+
+#include "coverage/photo.h"  // NodeId
+
+namespace photodtn {
+
+class RateEstimator {
+ public:
+  /// `start_time`: when this node began observing (usually 0).
+  explicit RateEstimator(double start_time = 0.0) : start_(start_time) {}
+
+  void record_contact(NodeId peer, double now);
+
+  /// Estimated lambda_ab in contacts per second; 0 before any observation.
+  double rate_with(NodeId peer, double now) const;
+
+  /// Aggregate lambda_a = sum over peers; equals (total contacts)/T.
+  double aggregate_rate(double now) const;
+
+  std::size_t total_contacts() const noexcept { return total_; }
+
+ private:
+  double observation_time(double now) const;
+
+  double start_ = 0.0;
+  std::size_t total_ = 0;
+  std::unordered_map<NodeId, std::size_t> counts_;
+};
+
+}  // namespace photodtn

@@ -1,0 +1,16 @@
+#include "routing/spray_counter.h"
+
+#include "util/check.h"
+
+namespace photodtn {
+
+std::uint32_t SprayCounter::spray(PhotoId photo) {
+  auto it = copies_.find(photo);
+  PHOTODTN_CHECK_MSG(it != copies_.end() && it->second > 1,
+                     "spray() requires more than one copy");
+  const std::uint32_t give = it->second / 2;
+  it->second -= give;
+  return give;
+}
+
+}  // namespace photodtn

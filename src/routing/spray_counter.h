@@ -1,0 +1,49 @@
+// Binary Spray-and-Wait copy accounting (Spyropoulos et al., the baseline
+// of Sections IV-B and V-B). Each photo starts with L logical copies at its
+// source. A node holding c > 1 copies hands floor(c/2) to a peer that does
+// not hold the photo and keeps ceil(c/2); a node with c == 1 is in the wait
+// phase and only transmits directly to the destination (command center).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "coverage/photo.h"
+
+namespace photodtn {
+
+class SprayCounter {
+ public:
+  /// L: copies allowed per photo (the paper uses 4).
+  explicit SprayCounter(std::uint32_t initial_copies = 4)
+      : initial_copies_(initial_copies) {}
+
+  /// Registers a newly taken photo at its source.
+  void on_create(PhotoId photo) { copies_[photo] = initial_copies_; }
+
+  std::uint32_t copies(PhotoId photo) const {
+    const auto it = copies_.find(photo);
+    return it == copies_.end() ? 0 : it->second;
+  }
+
+  /// Whether this holder may spray (fork a copy) to a peer lacking the photo.
+  bool can_spray(PhotoId photo) const { return copies(photo) > 1; }
+
+  /// Splits copies for a spray to a peer; returns the number of copies the
+  /// receiving side records. Caller must have checked can_spray().
+  std::uint32_t spray(PhotoId photo);
+
+  /// Records receipt of `n` copies of a photo.
+  void on_receive(PhotoId photo, std::uint32_t n) { copies_[photo] += n; }
+
+  /// Photo dropped from this node's buffer: its copies are forgotten.
+  void on_drop(PhotoId photo) { copies_.erase(photo); }
+
+  std::uint32_t initial_copies() const noexcept { return initial_copies_; }
+
+ private:
+  std::uint32_t initial_copies_;
+  std::unordered_map<PhotoId, std::uint32_t> copies_;
+};
+
+}  // namespace photodtn

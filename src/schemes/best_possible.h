@@ -1,0 +1,28 @@
+// BestPossible (Section V-B): the performance upper bound. Storage and
+// bandwidth constraints are lifted (the experiment runner honours the
+// wants_unlimited_* flags); the only remaining constraint is contact
+// opportunity. Every *useful* photo — one that covers at least one PoI — is
+// replicated to everyone on every contact, so the command center ends up
+// with the best coverage the contact graph permits.
+#pragma once
+
+#include "dtn/scheme.h"
+#include "dtn/simulator.h"
+
+namespace photodtn {
+
+class BestPossibleScheme : public Scheme {
+ public:
+  std::string name() const override { return "BestPossible"; }
+
+  bool wants_unlimited_storage() const override { return true; }
+  bool wants_unlimited_bandwidth() const override { return true; }
+
+  void on_photo_taken(SimContext& ctx, NodeId node, const PhotoMeta& photo) override;
+  void on_contact(SimContext& ctx, ContactSession& session) override;
+
+ private:
+  void replicate(SimContext& ctx, ContactSession& session, NodeId src, NodeId dst);
+};
+
+}  // namespace photodtn

@@ -1,0 +1,41 @@
+#include "schemes/common.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "geometry/angle.h"
+
+namespace photodtn {
+
+std::vector<PhotoMeta> sorted_photos(const PhotoStore& store) {
+  std::vector<PhotoMeta> out = store.photos();
+  std::sort(out.begin(), out.end(), [](const PhotoMeta& x, const PhotoMeta& y) {
+    if (x.taken_at != y.taken_at) return x.taken_at < y.taken_at;
+    return x.id < y.id;
+  });
+  return out;
+}
+
+CoverageValue standalone_value(const CoverageModel& model, const PhotoMeta& photo) {
+  static const ArcSet kNothing;
+  const PhotoFootprint& fp = model.footprint_cached(photo);
+  CoverageValue v;
+  for (const PoiArc& pa : fp.arcs) {
+    const PointOfInterest& poi = model.pois()[pa.poi_index];
+    v.point += poi.weight;
+    v.aspect += poi.weight * profile_gain(poi.profile(), pa.arc, kNothing);
+  }
+  return v;
+}
+
+std::vector<PhotoMeta> union_pool(const PhotoStore& a, const PhotoStore& b) {
+  std::vector<PhotoMeta> pool = sorted_photos(a);
+  std::unordered_set<PhotoId> seen;
+  seen.reserve(pool.size());
+  for (const PhotoMeta& p : pool) seen.insert(p.id);
+  for (const PhotoMeta& p : sorted_photos(b))
+    if (seen.insert(p.id).second) pool.push_back(p);
+  return pool;
+}
+
+}  // namespace photodtn

@@ -1,0 +1,26 @@
+// Helpers shared by the dissemination schemes.
+#pragma once
+
+#include <vector>
+
+#include "coverage/coverage_model.h"
+#include "coverage/coverage_value.h"
+#include "dtn/photo_store.h"
+
+namespace photodtn {
+
+/// Deterministic snapshot of a store: photos sorted by (taken_at, id).
+/// Stores are hash maps, so iteration order is unspecified; every scheme
+/// that walks a store must use this to keep runs reproducible.
+std::vector<PhotoMeta> sorted_photos(const PhotoStore& store);
+
+/// Standalone photo coverage of a single photo, ignoring every other photo:
+/// (sum of covered PoI weights, sum of weighted arc lengths). This is the
+/// per-photo utility ModifiedSpray ranks by, and the eviction heuristic our
+/// scheme uses when a photo is taken while the buffer is full.
+CoverageValue standalone_value(const CoverageModel& model, const PhotoMeta& photo);
+
+/// Union pool F_a ∪ F_b, deduplicated by photo id, deterministic order.
+std::vector<PhotoMeta> union_pool(const PhotoStore& a, const PhotoStore& b);
+
+}  // namespace photodtn

@@ -1,0 +1,33 @@
+#include "schemes/epidemic.h"
+
+#include "schemes/common.h"
+
+namespace photodtn {
+
+void EpidemicScheme::on_photo_taken(SimContext& ctx, NodeId node,
+                                    const PhotoMeta& photo) {
+  // Drop-tail: epidemic routing has no value model to justify eviction.
+  ctx.store_photo(node, photo);
+}
+
+void EpidemicScheme::flood(SimContext& ctx, ContactSession& session, NodeId src,
+                           NodeId dst) {
+  const bool to_center = dst == kCommandCenter;
+  for (const PhotoMeta& p : sorted_photos(ctx.node(src).store())) {
+    if (ctx.node(dst).store().contains(p.id)) {
+      if (to_center) ctx.drop_photo(src, p.id);  // immunity: already delivered
+      continue;
+    }
+    if (!session.can_transfer(p.size_bytes)) break;
+    if (!to_center && !ctx.node(dst).store().can_fit(p.size_bytes)) break;
+    // Delivery transfers custody (immunity list); relays keep their copy.
+    if (!session.transfer(p.id, src, dst, /*keep_source=*/!to_center)) break;
+  }
+}
+
+void EpidemicScheme::on_contact(SimContext& ctx, ContactSession& session) {
+  flood(ctx, session, session.a(), session.b());
+  flood(ctx, session, session.b(), session.a());
+}
+
+}  // namespace photodtn

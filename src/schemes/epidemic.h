@@ -1,0 +1,24 @@
+// Epidemic routing (Vahdat & Becker) under real storage/bandwidth
+// constraints — the classic content-agnostic flooding baseline the early
+// DTN literature cited in Section VI builds on. Unlike BestPossible (which
+// gets unconstrained resources and filters by relevance), Epidemic floods
+// *every* photo within the same limits the other schemes face.
+#pragma once
+
+#include "dtn/scheme.h"
+#include "dtn/simulator.h"
+
+namespace photodtn {
+
+class EpidemicScheme : public Scheme {
+ public:
+  std::string name() const override { return "Epidemic"; }
+
+  void on_photo_taken(SimContext& ctx, NodeId node, const PhotoMeta& photo) override;
+  void on_contact(SimContext& ctx, ContactSession& session) override;
+
+ private:
+  void flood(SimContext& ctx, ContactSession& session, NodeId src, NodeId dst);
+};
+
+}  // namespace photodtn

@@ -1,0 +1,275 @@
+#include "schemes/our_scheme.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+
+#include "schemes/common.h"
+#include "util/check.h"
+
+namespace photodtn {
+
+OurScheme::OurScheme(OurSchemeConfig cfg) : cfg_(cfg), selector_(cfg.greedy) {}
+
+std::unique_ptr<OurScheme> OurScheme::no_metadata() {
+  OurSchemeConfig cfg;
+  cfg.metadata_enabled = false;
+  return std::make_unique<OurScheme>(cfg);
+}
+
+MetadataCache& OurScheme::cache(NodeId node) {
+  auto it = caches_.find(node);
+  if (it == caches_.end()) it = caches_.emplace(node, MetadataCache{cfg_.p_thld}).first;
+  return it->second;
+}
+
+const MetadataCache& OurScheme::cache_of(NodeId node) const {
+  const auto it = caches_.find(node);
+  PHOTODTN_CHECK_MSG(it != caches_.end(), "no cache for node yet");
+  return it->second;
+}
+
+void OurScheme::on_photo_taken(SimContext& ctx, NodeId node, const PhotoMeta& photo) {
+  if (ctx.store_photo(node, photo)) return;
+  // Buffer full. Keep the new photo only if it beats the weakest stored
+  // photos by standalone coverage; the redundancy-aware reshuffle happens at
+  // the next contact (Section III-D enforces storage at contacts — capture-
+  // time policy is an engineering choice documented in DESIGN.md).
+  const CoverageModel& model = ctx.model();
+  const CoverageValue incoming = standalone_value(model, photo);
+  if (incoming.is_zero()) return;  // irrelevant: never keep under pressure
+  Node& n = ctx.node(node);
+  std::vector<std::pair<CoverageValue, PhotoId>> ranked;
+  for (const PhotoMeta& p : sorted_photos(n.store()))
+    ranked.push_back({standalone_value(model, p), p.id});
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  std::size_t i = 0;
+  while (!n.store().can_fit(photo.size_bytes) && i < ranked.size() &&
+         ranked[i].first < incoming) {
+    ctx.drop_photo(node, ranked[i].second);
+    ++i;
+  }
+  if (n.store().can_fit(photo.size_bytes)) ctx.store_photo(node, photo);
+}
+
+MetadataEntry OurScheme::snapshot(SimContext& ctx, NodeId node, double now) const {
+  Node& n = ctx.node(node);
+  MetadataEntry e;
+  e.owner = node;
+  e.photos = sorted_photos(n.store());
+  e.observed_at = now;
+  e.lambda = n.rates().aggregate_rate(now);
+  e.delivery_prob = n.delivery_prob(now);
+  return e;
+}
+
+void OurScheme::exchange_metadata(SimContext& ctx, NodeId a, NodeId b, double now) {
+  (void)ctx;
+  MetadataCache& ca = cache(a);
+  MetadataCache& cb = cache(b);
+  // Gossip cached third-party metadata both ways, then drop entries eq. (1)
+  // invalidates. The parties' own fresh snapshots are exchanged after the
+  // reallocation (on_contact), so caches reflect post-contact collections.
+  ca.merge_from(cb, a);
+  cb.merge_from(ca, b);
+  ca.prune(now);
+  cb.prune(now);
+}
+
+std::vector<NodeCollection> OurScheme::build_environment(SimContext& ctx, NodeId viewer,
+                                                         NodeId exclude_a,
+                                                         NodeId exclude_b,
+                                                         double now) const {
+  std::vector<NodeCollection> env;
+  if (!cfg_.metadata_enabled) return env;
+  const auto it = caches_.find(viewer);
+  if (it == caches_.end()) return env;
+  for (const MetadataEntry* e : it->second.valid_entries(now)) {
+    if (e->owner == exclude_a || e->owner == exclude_b) continue;
+    NodeCollection nc;
+    nc.node = e->owner;
+    nc.delivery_prob = e->owner == kCommandCenter ? 1.0 : e->delivery_prob;
+    for (const PhotoMeta& p : e->photos) {
+      const PhotoFootprint& fp = ctx.model().footprint_cached(p);
+      if (fp.relevant()) nc.footprints.push_back(&fp);
+    }
+    if (!nc.footprints.empty() && nc.delivery_prob > 0.0) env.push_back(std::move(nc));
+  }
+  return env;
+}
+
+void OurScheme::on_contact(SimContext& ctx, ContactSession& session) {
+  const double now = ctx.now();
+  if (cfg_.metadata_enabled) {
+    // Metadata is nearly free but not literally free: when the simulator
+    // prices it, charge one record per photo in the snapshots and gossiped
+    // cache entries before any payload moves.
+    if (const std::uint64_t per_photo = ctx.config().metadata_bytes_per_photo;
+        per_photo > 0) {
+      std::uint64_t records = ctx.node(session.a()).store().size() +
+                              ctx.node(session.b()).store().size();
+      for (const NodeId n : {session.a(), session.b()})
+        for (const auto& [owner, entry] : cache(n).entries())
+          records += entry.photos.size();
+      session.consume(records * per_photo);
+    }
+    exchange_metadata(ctx, session.a(), session.b(), now);
+  }
+
+  if (session.involves_command_center()) {
+    contact_with_center(ctx, session);
+  } else {
+    contact_between_participants(ctx, session);
+  }
+
+  if (cfg_.metadata_enabled) {
+    // Post-contact snapshots: each side leaves knowing the other's final
+    // collection; a center snapshot doubles as the delivery acknowledgment.
+    cache(session.a()).update(snapshot(ctx, session.b(), now));
+    cache(session.b()).update(snapshot(ctx, session.a(), now));
+  }
+}
+
+void OurScheme::contact_with_center(SimContext& ctx, ContactSession& session) {
+  const double now = ctx.now();
+  const NodeId part = session.peer(kCommandCenter);
+  Node& center = ctx.node(kCommandCenter);
+  Node& np = ctx.node(part);
+  const CoverageModel& model = ctx.model();
+
+  auto make_center_collection = [&] {
+    NodeCollection cc;
+    cc.node = kCommandCenter;
+    cc.delivery_prob = 1.0;
+    for (const auto& [id, p] : center.store().map()) {
+      const PhotoFootprint& fp = model.footprint_cached(p);
+      if (fp.relevant()) cc.footprints.push_back(&fp);
+    }
+    return cc;
+  };
+
+  // Phase 1 — the center (p = 1) selects which of the participant's photos
+  // are worth delivering, against its own collection plus cached metadata.
+  std::vector<NodeCollection> env =
+      build_environment(ctx, part, part, kCommandCenter, now);
+  env.push_back(make_center_collection());
+  const std::vector<PhotoMeta> pool = sorted_photos(np.store());
+  {
+    SelectionEnvironment senv(model, env);
+    GreedyPhase phase(senv, 1.0);
+    const std::vector<PhotoId> to_deliver =
+        selector_.select(model, pool, PhotoStore::kUnlimited, phase);
+    for (const PhotoId id : to_deliver) {
+      if (center.store().contains(id)) continue;
+      if (!session.transfer(id, part, kCommandCenter, /*keep_source=*/true)) break;
+    }
+  }
+
+  // Phase 2 — the participant reselects its own buffer against the updated
+  // center collection (freshly delivered photos now have zero further value
+  // and are evicted, freeing space). Purely local: no bandwidth needed.
+  env.back() = make_center_collection();
+  SelectionEnvironment senv(model, env);
+  GreedyPhase phase(senv, std::max(np.delivery_prob(now), cfg_.greedy.p_floor));
+  const std::vector<PhotoMeta> own_pool = sorted_photos(np.store());
+  const std::vector<PhotoId> keep =
+      selector_.select(model, own_pool, np.store().capacity_bytes(), phase);
+  const std::unordered_set<PhotoId> keep_set(keep.begin(), keep.end());
+  for (const PhotoMeta& p : own_pool)
+    if (!keep_set.contains(p.id)) ctx.drop_photo(part, p.id);
+}
+
+void OurScheme::contact_between_participants(SimContext& ctx, ContactSession& session) {
+  const double now = ctx.now();
+  const NodeId a = session.a();
+  const NodeId b = session.b();
+  Node& na = ctx.node(a);
+  Node& nb = ctx.node(b);
+  const CoverageModel& model = ctx.model();
+
+  const double pa = na.delivery_prob(now);
+  const double pb = nb.delivery_prob(now);
+  const std::vector<PhotoMeta> pool = union_pool(na.store(), nb.store());
+  if (pool.empty()) return;
+  const std::vector<NodeCollection> env = build_environment(ctx, a, a, b, now);
+
+  const ReallocationPlan plan = selector_.reallocate(
+      model, pool, a, pa, na.store().capacity_bytes(), b, pb,
+      nb.store().capacity_bytes(), env);
+
+  std::unordered_map<PhotoId, PhotoMeta> by_id;
+  by_id.reserve(pool.size());
+  for (const PhotoMeta& p : pool) by_id.emplace(p.id, p);
+
+  const bool ok_first = realize_target(ctx, session, plan.first, plan.first_target,
+                                       plan.second_target, by_id);
+  const bool ok_second =
+      ok_first && realize_target(ctx, session, plan.second, plan.second_target,
+                                 plan.first_target, by_id);
+
+  if (ok_first && ok_second) {
+    // Untruncated: the collections become exactly the solution — pool photos
+    // outside a node's target are dropped (this is where acknowledged and
+    // redundant photos leave the network).
+    auto drop_leftovers = [&](NodeId holder, const std::vector<PhotoId>& target) {
+      const std::unordered_set<PhotoId> t(target.begin(), target.end());
+      Node& h = ctx.node(holder);
+      for (const PhotoMeta& p : pool)
+        if (!t.contains(p.id) && h.store().contains(p.id)) ctx.drop_photo(holder, p.id);
+    };
+    drop_leftovers(plan.first, plan.first_target);
+    drop_leftovers(plan.second, plan.second_target);
+  }
+}
+
+bool OurScheme::realize_target(SimContext& ctx, ContactSession& session, NodeId holder,
+                               const std::vector<PhotoId>& target,
+                               const std::vector<PhotoId>& peer_target,
+                               const std::unordered_map<PhotoId, PhotoMeta>& pool_by_id) {
+  Node& h = ctx.node(holder);
+  const NodeId peer = session.peer(holder);
+  Node& hp = ctx.node(peer);
+  const std::unordered_set<PhotoId> target_set(target.begin(), target.end());
+  const std::unordered_set<PhotoId> peer_set(peer_target.begin(), peer_target.end());
+
+  // Eviction preference when making room: (1) photos no plan wants,
+  // (2) photos the peer's plan wants but the peer already holds, (3) photos
+  // the peer's plan wants that only we hold (last resort — may lose them).
+  auto pick_victim = [&]() -> std::optional<PhotoId> {
+    std::optional<PhotoId> best;
+    int best_rank = 4;
+    CoverageValue best_value;
+    for (const auto& [id, p] : h.store().map()) {
+      if (target_set.contains(id)) continue;
+      int rank = 3;
+      if (!peer_set.contains(id)) {
+        rank = 1;
+      } else if (hp.store().contains(id)) {
+        rank = 2;
+      }
+      const CoverageValue v = standalone_value(ctx.model(), p);
+      if (rank < best_rank || (rank == best_rank && v < best_value)) {
+        best_rank = rank;
+        best_value = v;
+        best = id;
+      }
+    }
+    return best;
+  };
+
+  for (const PhotoId id : target) {
+    if (h.store().contains(id)) continue;
+    const PhotoMeta& meta = pool_by_id.at(id);
+    if (!session.can_transfer(meta.size_bytes)) return false;  // budget exhausted
+    while (!h.store().can_fit(meta.size_bytes)) {
+      const auto victim = pick_victim();
+      if (!victim) return false;  // cannot make room
+      ctx.drop_photo(holder, *victim);
+    }
+    if (!session.transfer(id, peer, holder, /*keep_source=*/true)) return false;
+  }
+  return true;
+}
+
+}  // namespace photodtn

@@ -1,0 +1,82 @@
+// The paper's resource-aware photo selection scheme (Section III), and — via
+// a configuration switch — the NoMetadata ablation of Section V-B.
+//
+// On every contact the two nodes:
+//   1. exchange metadata snapshots of their own collections (plus gossip of
+//      cached third-party metadata) and prune entries invalidated by eq. (1);
+//   2. assemble the node set M: themselves, the command center's cached
+//      acknowledgment snapshot, and every other validly cached node;
+//   3. run the two-phase greedy reallocation of the union pool F_a ∪ F_b
+//      (higher delivery probability selects first);
+//   4. transmit photos in selection order until the plan is realized or the
+//      contact's byte budget runs out; evictions make room on demand, and —
+//      when the plan completed untruncated — pool photos left outside a
+//      node's target are dropped (the collections become the solution).
+//
+// Contacts with the command center follow the same algorithm with p_0 = 1
+// and the center's collection treated as a fixed environment (it never drops
+// photos, so it never "reselects" its own storage).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "dtn/scheme.h"
+#include "dtn/simulator.h"
+#include "selection/greedy_selector.h"
+#include "selection/metadata_cache.h"
+
+namespace photodtn {
+
+struct OurSchemeConfig {
+  /// Metadata validity threshold P_thld (Table I: 0.8).
+  double p_thld = 0.8;
+  /// Disable metadata caching/management entirely -> the NoMetadata baseline:
+  /// M degenerates to the two contact parties (plus the center when it is a
+  /// party itself).
+  bool metadata_enabled = true;
+  GreedyParams greedy;
+};
+
+class OurScheme : public Scheme {
+ public:
+  explicit OurScheme(OurSchemeConfig cfg = {});
+
+  static std::unique_ptr<OurScheme> no_metadata();
+
+  std::string name() const override {
+    return cfg_.metadata_enabled ? "OurScheme" : "NoMetadata";
+  }
+
+  void on_photo_taken(SimContext& ctx, NodeId node, const PhotoMeta& photo) override;
+  void on_contact(SimContext& ctx, ContactSession& session) override;
+
+  /// Test access.
+  const MetadataCache& cache_of(NodeId node) const;
+
+ private:
+  MetadataCache& cache(NodeId node);
+  void exchange_metadata(SimContext& ctx, NodeId a, NodeId b, double now);
+  /// Snapshot entry describing `node`'s current state.
+  MetadataEntry snapshot(SimContext& ctx, NodeId node, double now) const;
+  /// Environment = valid cached collections, excluding `exclude_a/b`.
+  std::vector<NodeCollection> build_environment(SimContext& ctx, NodeId viewer,
+                                                NodeId exclude_a, NodeId exclude_b,
+                                                double now) const;
+  void contact_with_center(SimContext& ctx, ContactSession& session);
+  void contact_between_participants(SimContext& ctx, ContactSession& session);
+
+  /// Realizes one node's target list: transfers missing photos from the
+  /// peer in selection order, evicting non-target photos on demand. Returns
+  /// false if the byte budget truncated the plan.
+  bool realize_target(SimContext& ctx, ContactSession& session, NodeId holder,
+                      const std::vector<PhotoId>& target,
+                      const std::vector<PhotoId>& peer_target,
+                      const std::unordered_map<PhotoId, PhotoMeta>& pool_by_id);
+
+  OurSchemeConfig cfg_;
+  GreedySelector selector_;
+  std::unordered_map<NodeId, MetadataCache> caches_;
+};
+
+}  // namespace photodtn

@@ -1,0 +1,31 @@
+// PROPHET forwarding (Lindgren et al., reference [16] of the paper) used as
+// a *routing* baseline: a node replicates a photo to a peer only when the
+// peer's delivery predictability toward the command center exceeds its own
+// (the GRTR forwarding strategy), and delivers everything on direct center
+// contact. Content-agnostic — photos are opaque packets.
+#pragma once
+
+#include "dtn/scheme.h"
+#include "dtn/simulator.h"
+
+namespace photodtn {
+
+class ProphetRoutingScheme : public Scheme {
+ public:
+  /// `min_advantage`: required margin P(peer) - P(self) before forwarding
+  /// (0 reproduces plain GRTR).
+  explicit ProphetRoutingScheme(double min_advantage = 0.0)
+      : min_advantage_(min_advantage) {}
+
+  std::string name() const override { return "PROPHET"; }
+
+  void on_photo_taken(SimContext& ctx, NodeId node, const PhotoMeta& photo) override;
+  void on_contact(SimContext& ctx, ContactSession& session) override;
+
+ private:
+  void forward(SimContext& ctx, ContactSession& session, NodeId src, NodeId dst);
+
+  double min_advantage_;
+};
+
+}  // namespace photodtn

@@ -1,0 +1,59 @@
+#include "schemes/spray_and_wait.h"
+
+#include "schemes/common.h"
+
+namespace photodtn {
+
+SprayCounter& SprayAndWaitScheme::counter(NodeId node) {
+  auto it = counters_.find(node);
+  if (it == counters_.end()) it = counters_.emplace(node, SprayCounter{copies_}).first;
+  return it->second;
+}
+
+void SprayAndWaitScheme::on_photo_taken(SimContext& ctx, NodeId node,
+                                        const PhotoMeta& photo) {
+  // Drop-tail buffer: a full node discards the new photo (the protocol has
+  // no notion of photo value to justify anything smarter).
+  if (ctx.store_photo(node, photo)) counter(node).on_create(photo.id);
+}
+
+void SprayAndWaitScheme::deliver_all(SimContext& ctx, ContactSession& session,
+                                     NodeId src) {
+  // Direct transmission to the destination is allowed in any phase; custody
+  // ends on delivery, so the local copy is released.
+  for (const PhotoMeta& p : sorted_photos(ctx.node(src).store())) {
+    if (ctx.node(kCommandCenter).store().contains(p.id)) {
+      // Already delivered by another replica: release ours.
+      ctx.drop_photo(src, p.id);
+      counter(src).on_drop(p.id);
+      continue;
+    }
+    if (!session.transfer(p.id, src, kCommandCenter, /*keep_source=*/false)) break;
+    counter(src).on_drop(p.id);
+  }
+}
+
+void SprayAndWaitScheme::spray_direction(SimContext& ctx, ContactSession& session,
+                                         NodeId src, NodeId dst) {
+  SprayCounter& src_counter = counter(src);
+  SprayCounter& dst_counter = counter(dst);
+  for (const PhotoMeta& p : sorted_photos(ctx.node(src).store())) {
+    if (!src_counter.can_spray(p.id)) continue;
+    if (ctx.node(dst).store().contains(p.id)) continue;
+    if (!session.can_transfer(p.size_bytes)) break;
+    if (!ctx.node(dst).store().can_fit(p.size_bytes)) break;  // receiver full
+    if (!session.transfer(p.id, src, dst, /*keep_source=*/true)) break;
+    dst_counter.on_receive(p.id, src_counter.spray(p.id));
+  }
+}
+
+void SprayAndWaitScheme::on_contact(SimContext& ctx, ContactSession& session) {
+  if (session.involves_command_center()) {
+    deliver_all(ctx, session, session.peer(kCommandCenter));
+    return;
+  }
+  spray_direction(ctx, session, session.a(), session.b());
+  spray_direction(ctx, session, session.b(), session.a());
+}
+
+}  // namespace photodtn

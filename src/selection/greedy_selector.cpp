@@ -1,0 +1,143 @@
+#include "selection/greedy_selector.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace photodtn {
+
+namespace {
+
+bool gain_worth_taking(const CoverageValue& g, double eps) {
+  return g.point > eps || g.aspect > eps;
+}
+
+}  // namespace
+
+std::vector<PhotoId> GreedySelector::select(const CoverageModel& model,
+                                            std::span<const PhotoMeta> pool,
+                                            std::uint64_t capacity_bytes,
+                                            GreedyPhase& phase) const {
+  return params_.lazy ? select_lazy(model, pool, capacity_bytes, phase)
+                      : select_plain(model, pool, capacity_bytes, phase);
+}
+
+std::vector<PhotoId> GreedySelector::select_plain(const CoverageModel& model,
+                                                  std::span<const PhotoMeta> pool,
+                                                  std::uint64_t capacity_bytes,
+                                                  GreedyPhase& phase) const {
+  std::vector<PhotoId> chosen;
+  std::vector<char> taken(pool.size(), 0);
+  std::uint64_t used = 0;
+  for (;;) {
+    CoverageValue best_gain;
+    std::size_t best = pool.size();
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (taken[i] || used + pool[i].size_bytes > capacity_bytes) continue;
+      const CoverageValue g = phase.gain(model.footprint_cached(pool[i]));
+      if (best == pool.size() || g > best_gain) {
+        best_gain = g;
+        best = i;
+      }
+    }
+    if (best == pool.size() || !gain_worth_taking(best_gain, params_.eps)) break;
+    taken[best] = 1;
+    used += pool[best].size_bytes;
+    phase.commit(model.footprint_cached(pool[best]));
+    chosen.push_back(pool[best].id);
+  }
+  return chosen;
+}
+
+std::vector<PhotoId> GreedySelector::select_lazy(const CoverageModel& model,
+                                                 std::span<const PhotoMeta> pool,
+                                                 std::uint64_t capacity_bytes,
+                                                 GreedyPhase& phase) const {
+  struct Cand {
+    CoverageValue gain;
+    std::size_t idx;
+    std::uint64_t stamp;
+  };
+  struct Less {
+    bool operator()(const Cand& x, const Cand& y) const {
+      // Ties broken toward the lower pool index so the lazy path selects
+      // exactly what plain greedy would.
+      if (x.gain != y.gain) return x.gain < y.gain;
+      return x.idx > y.idx;
+    }
+  };
+  std::priority_queue<Cand, std::vector<Cand>, Less> heap;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const CoverageValue g = phase.gain(model.footprint_cached(pool[i]));
+    if (gain_worth_taking(g, params_.eps)) heap.push({g, i, 0});
+  }
+  std::vector<PhotoId> chosen;
+  std::uint64_t used = 0;
+  std::uint64_t commit_stamp = 0;
+  while (!heap.empty()) {
+    Cand top = heap.top();
+    heap.pop();
+    if (used + pool[top.idx].size_bytes > capacity_bytes) continue;  // never fits again
+    if (top.stamp != commit_stamp) {
+      // Stale: re-evaluate against the current selection. Submodularity
+      // guarantees the fresh gain is <= the cached one, so reinsertion keeps
+      // the heap order consistent with plain greedy.
+      top.gain = phase.gain(model.footprint_cached(pool[top.idx]));
+      top.stamp = commit_stamp;
+      if (gain_worth_taking(top.gain, params_.eps)) heap.push(top);
+      continue;
+    }
+    phase.commit(model.footprint_cached(pool[top.idx]));
+    used += pool[top.idx].size_bytes;
+    chosen.push_back(pool[top.idx].id);
+    ++commit_stamp;
+  }
+  return chosen;
+}
+
+ReallocationPlan GreedySelector::reallocate(
+    const CoverageModel& model, std::span<const PhotoMeta> pool, NodeId node_a,
+    double p_a, std::uint64_t cap_a, NodeId node_b, double p_b, std::uint64_t cap_b,
+    std::span<const NodeCollection> environment) const {
+  // Higher delivery probability selects first; the command center (p = 1,
+  // id 0) always wins ties by id for determinism.
+  bool a_first = p_a > p_b || (p_a == p_b && node_a < node_b);
+  ReallocationPlan plan;
+  plan.first = a_first ? node_a : node_b;
+  plan.second = a_first ? node_b : node_a;
+  const double p_first = std::max(a_first ? p_a : p_b, params_.p_floor);
+  const double p_second = std::max(a_first ? p_b : p_a, params_.p_floor);
+  const std::uint64_t cap_first = a_first ? cap_a : cap_b;
+  const std::uint64_t cap_second = a_first ? cap_b : cap_a;
+
+  // Phase 1: maximize C_ex(F_first, ∅) — the peer's collection is excluded,
+  // the rest of M stays.
+  SelectionEnvironment env_first(model, environment);
+  GreedyPhase phase_first(env_first, p_first);
+  plan.first_target = select(model, pool, cap_first, phase_first);
+
+  // Phase 2: the second node selects from the SAME pool, now against the
+  // environment plus the first node's tentative selection.
+  std::vector<NodeCollection> env2(environment.begin(), environment.end());
+  NodeCollection first_sel;
+  first_sel.node = plan.first;
+  // The environment must weigh the first node's photos by its *actual*
+  // delivery probability (not the floored one): if p_first is truly tiny,
+  // the second node should still duplicate valuable photos (Section III-D).
+  first_sel.delivery_prob = a_first ? p_a : p_b;
+  std::vector<char> in_first(pool.size(), 0);
+  for (const PhotoId id : plan.first_target)
+    for (std::size_t i = 0; i < pool.size(); ++i)
+      if (pool[i].id == id) in_first[i] = 1;
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    if (in_first[i]) first_sel.footprints.push_back(&model.footprint_cached(pool[i]));
+  env2.push_back(std::move(first_sel));
+
+  SelectionEnvironment env_second(model, env2);
+  GreedyPhase phase_second(env_second, p_second);
+  plan.second_target = select(model, pool, cap_second, phase_second);
+  return plan;
+}
+
+}  // namespace photodtn

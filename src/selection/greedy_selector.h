@@ -1,0 +1,85 @@
+// The photo reallocation algorithm of Section III-D. On a contact between
+// n_a and n_b, the union pool F_a ∪ F_b is redistributed to maximize
+// C_ex(F_a, F_b) under both storage budgets. The problem is NP-hard
+// (knapsack reduces to it) and non-convex (coverage overlap), so — exactly
+// as the paper does — the node with the higher delivery probability greedily
+// fills its storage first against the fixed environment (other nodes' valid
+// metadata + the command center), then the other node selects against the
+// environment *plus* the first node's tentative selection.
+//
+// Greedy acceleration: the marginal gains are monotone non-increasing in
+// the selected set (coverage is submodular for a fixed environment), so we
+// use lazy evaluation (Minoux): cached gains are re-evaluated only when a
+// candidate reaches the top of the priority queue.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coverage/coverage_model.h"
+#include "selection/expected_coverage.h"
+#include "selection/selection_env.h"
+
+namespace photodtn {
+
+struct GreedyParams {
+  /// Delivery probabilities are floored to this value inside gain
+  /// computations. A common positive factor never reorders candidates, but a
+  /// literal p = 0 (a node that has never met the command center) would
+  /// zero every gain and stall selection before any contact history exists.
+  double p_floor = 0.02;
+  /// Gains at or below this (lexicographically, on both components) stop
+  /// the selection: "no more benefit can be achieved".
+  double eps = 1e-9;
+  /// Use lazy greedy re-evaluation (exact same output as the plain greedy;
+  /// exposed so tests can compare both paths).
+  bool lazy = true;
+};
+
+/// Outcome of the two-phase reallocation. Photo ids are listed in the order
+/// they were selected — the transmission order under short contacts.
+struct ReallocationPlan {
+  NodeId first = -1;   // the higher-delivery-probability node; selects first
+  NodeId second = -1;
+  std::vector<PhotoId> first_target;
+  std::vector<PhotoId> second_target;
+};
+
+class GreedySelector {
+ public:
+  explicit GreedySelector(GreedyParams params = {}) : params_(params) {}
+
+  /// Single-node greedy selection: choose from `pool` (each photo counted
+  /// once; ids must be unique) at most `capacity_bytes` worth of photos
+  /// maximizing expected coverage against `phase`'s environment. `phase` is
+  /// advanced by the commits; the chosen ids are returned in order.
+  std::vector<PhotoId> select(const CoverageModel& model,
+                              std::span<const PhotoMeta> pool,
+                              std::uint64_t capacity_bytes, GreedyPhase& phase) const;
+
+  /// Two-phase reallocation for a contact. `environment` holds every other
+  /// collection of the node set M (cached valid metadata + command center),
+  /// excluding n_a and n_b themselves.
+  ReallocationPlan reallocate(const CoverageModel& model,
+                              std::span<const PhotoMeta> pool, NodeId node_a,
+                              double p_a, std::uint64_t cap_a, NodeId node_b,
+                              double p_b, std::uint64_t cap_b,
+                              std::span<const NodeCollection> environment) const;
+
+  const GreedyParams& params() const noexcept { return params_; }
+
+ private:
+  std::vector<PhotoId> select_plain(const CoverageModel& model,
+                                    std::span<const PhotoMeta> pool,
+                                    std::uint64_t capacity_bytes,
+                                    GreedyPhase& phase) const;
+  std::vector<PhotoId> select_lazy(const CoverageModel& model,
+                                   std::span<const PhotoMeta> pool,
+                                   std::uint64_t capacity_bytes,
+                                   GreedyPhase& phase) const;
+
+  GreedyParams params_;
+};
+
+}  // namespace photodtn

@@ -1,0 +1,57 @@
+#include "selection/metadata_cache.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace photodtn {
+
+bool MetadataCache::update(MetadataEntry entry) {
+  PHOTODTN_CHECK_MSG(entry.owner >= 0, "metadata entry needs an owner");
+  auto it = entries_.find(entry.owner);
+  if (it != entries_.end() && it->second.observed_at >= entry.observed_at) return false;
+  entries_[entry.owner] = std::move(entry);
+  return true;
+}
+
+double MetadataCache::staleness_probability(double lambda, double elapsed) {
+  if (elapsed <= 0.0 || lambda <= 0.0) return 0.0;
+  return 1.0 - std::exp(-lambda * elapsed);
+}
+
+bool MetadataCache::is_valid(const MetadataEntry& entry, double now) const {
+  if (entry.owner == kCommandCenter) return true;
+  return staleness_probability(entry.lambda, now - entry.observed_at) <= p_thld_;
+}
+
+void MetadataCache::prune(double now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (!is_valid(it->second, now)) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<const MetadataEntry*> MetadataCache::valid_entries(double now) const {
+  std::vector<const MetadataEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [owner, entry] : entries_)
+    if (is_valid(entry, now)) out.push_back(&entry);
+  return out;
+}
+
+const MetadataEntry* MetadataCache::find(NodeId owner) const {
+  const auto it = entries_.find(owner);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void MetadataCache::merge_from(const MetadataCache& other, NodeId self) {
+  for (const auto& [owner, entry] : other.entries_) {
+    if (owner == self) continue;
+    update(entry);
+  }
+}
+
+}  // namespace photodtn

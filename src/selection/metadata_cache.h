@@ -1,0 +1,76 @@
+// Metadata management (Section III-B). Every node caches snapshots of other
+// nodes' photo metadata, learned directly during contacts and gossiped
+// transitively. A cached snapshot of node `a` observed at time t0 is valid
+// at time `now` while
+//     P{T_a < now - t0} = 1 - exp(-lambda_a * (now - t0)) <= P_thld,
+// i.e. while it is unlikely that `a` has met anyone (and hence reshuffled
+// its photos) since the snapshot. The command center's snapshot never
+// expires — the center never drops photos, so its metadata acts as a
+// monotone acknowledgment set.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "coverage/photo.h"
+
+namespace photodtn {
+
+struct MetadataEntry {
+  NodeId owner = -1;
+  /// Snapshot of the owner's photo collection metadata.
+  std::vector<PhotoMeta> photos;
+  /// When the owner was last *directly* observed (by whoever produced the
+  /// snapshot). Gossip forwards this original timestamp unchanged.
+  double observed_at = 0.0;
+  /// The owner's aggregate inter-contact rate lambda_a, as reported by the
+  /// owner at observation time.
+  double lambda = 0.0;
+  /// The owner's delivery probability p_a at observation time (used when
+  /// building the expected-coverage node set from cached entries).
+  double delivery_prob = 0.0;
+};
+
+class MetadataCache {
+ public:
+  /// `p_thld`: validity threshold from Table I (0.8).
+  explicit MetadataCache(double p_thld = 0.8) : p_thld_(p_thld) {}
+
+  double p_thld() const noexcept { return p_thld_; }
+
+  /// Inserts/replaces the entry for `entry.owner` if it is fresher than the
+  /// currently cached one. Returns true if the cache changed.
+  bool update(MetadataEntry entry);
+
+  /// Probability that the owner has met another node within `elapsed`
+  /// seconds, per eq. (1).
+  static double staleness_probability(double lambda, double elapsed);
+
+  /// Validity per eq. (1); the command center is always valid.
+  bool is_valid(const MetadataEntry& entry, double now) const;
+
+  /// Removes all invalid entries (the paper removes entries once they cross
+  /// the threshold).
+  void prune(double now);
+
+  /// All entries currently valid at `now` (does not prune).
+  std::vector<const MetadataEntry*> valid_entries(double now) const;
+
+  const MetadataEntry* find(NodeId owner) const;
+  void erase(NodeId owner) { entries_.erase(owner); }
+
+  /// Gossip: absorbs every entry of `other` that is fresher than ours.
+  /// `self` is excluded — a node is the authority on its own collection.
+  void merge_from(const MetadataCache& other, NodeId self);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  const std::unordered_map<NodeId, MetadataEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  double p_thld_;
+  std::unordered_map<NodeId, MetadataEntry> entries_;
+};
+
+}  // namespace photodtn

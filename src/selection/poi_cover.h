@@ -1,0 +1,26 @@
+// Shared helper: reduce a set of NodeCollections to a per-PoI view — for
+// each PoI, the list of covering nodes with their delivery probability and
+// their unioned aspect arcs. Used by the exact expected-coverage evaluator
+// and by the selection environment.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/arc_set.h"
+#include "selection/expected_coverage.h"
+
+namespace photodtn {
+
+struct NodePoiCover {
+  NodeId node = -1;
+  double p = 0.0;
+  ArcSet arcs;
+};
+
+/// poi index -> covering nodes. Nodes contributing no arcs to a PoI do not
+/// appear in that PoI's list.
+std::vector<std::vector<NodePoiCover>> build_poi_cover_index(
+    const CoverageModel& model, std::span<const NodeCollection> nodes);
+
+}  // namespace photodtn

@@ -1,0 +1,166 @@
+#include "selection/selection_env.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/angle.h"
+#include "selection/poi_cover.h"
+#include "util/check.h"
+
+namespace photodtn {
+
+std::vector<std::vector<NodePoiCover>> build_poi_cover_index(
+    const CoverageModel& model, std::span<const NodeCollection> nodes) {
+  std::vector<std::vector<NodePoiCover>> index(model.pois().size());
+  std::vector<ArcSet> per_poi(model.pois().size());
+  std::vector<char> seen(model.pois().size(), 0);
+  std::vector<std::size_t> touched;
+  for (const NodeCollection& nc : nodes) {
+    touched.clear();
+    for (const PhotoFootprint* fp : nc.footprints) {
+      for (const PoiArc& pa : fp->arcs) {
+        if (!seen[pa.poi_index]) {
+          seen[pa.poi_index] = 1;
+          touched.push_back(pa.poi_index);
+        }
+        per_poi[pa.poi_index].add(pa.arc);
+      }
+    }
+    for (const std::size_t poi : touched) {
+      index[poi].push_back(NodePoiCover{nc.node, nc.delivery_prob,
+                                        std::move(per_poi[poi])});
+      per_poi[poi] = ArcSet{};
+      seen[poi] = 0;
+    }
+  }
+  return index;
+}
+
+PiecewiseMiss PiecewiseMiss::build(
+    std::span<const std::pair<double, const ArcSet*>> covers) {
+  PiecewiseMiss out;
+  for (const auto& [p, arcs] : covers) {
+    for (const double b : arcs->boundaries()) out.bps_.push_back(b);
+  }
+  std::sort(out.bps_.begin(), out.bps_.end());
+  out.bps_.erase(std::unique(out.bps_.begin(), out.bps_.end()), out.bps_.end());
+  if (out.bps_.empty()) {
+    // Either nothing covers this PoI (constant 1) or some set is the full
+    // circle (constant product).
+    double miss = 1.0;
+    for (const auto& [p, arcs] : covers)
+      if (arcs->full()) miss *= 1.0 - p;
+    out.constant_ = miss;
+    return out;
+  }
+  out.vals_.resize(out.bps_.size());
+  const std::size_t n = out.bps_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double lo = out.bps_[k];
+    const double hi = (k + 1 < n) ? out.bps_[k + 1] : out.bps_[0] + kTwoPi;
+    const double mid = normalize_angle(lo + (hi - lo) / 2.0);
+    double miss = 1.0;
+    for (const auto& [p, arcs] : covers)
+      if (arcs->contains(mid)) miss *= 1.0 - p;
+    out.vals_[k] = miss;
+  }
+  return out;
+}
+
+double PiecewiseMiss::value_at(double angle) const noexcept {
+  if (bps_.empty()) return constant_;
+  const double a = normalize_angle(angle);
+  // Find the last breakpoint <= a; if a precedes the first breakpoint the
+  // wrapping last segment applies.
+  const auto it = std::upper_bound(bps_.begin(), bps_.end(), a);
+  const std::size_t k =
+      it == bps_.begin() ? bps_.size() - 1
+                         : static_cast<std::size_t>(std::distance(bps_.begin(), it)) - 1;
+  return vals_[k];
+}
+
+double PiecewiseMiss::integrate_excluding(double lo, double hi, const ArcSet& exclude,
+                                          const AspectProfile* profile) const {
+  PHOTODTN_CHECK(lo >= -1e-12 && hi <= kTwoPi + 1e-12 && lo <= hi + 1e-12);
+  lo = std::max(lo, 0.0);
+  hi = std::min(hi, kTwoPi);
+  if (hi <= lo) return 0.0;
+  const bool weighted = profile != nullptr && !profile->is_uniform();
+  auto piece = [&](double l, double h, double val) {
+    if (h <= l || val == 0.0) return 0.0;
+    if (weighted) return val * profile->integrate_excluding(l, h, exclude);
+    const double len = (h - l) - exclude.overlap_linear(l, h);
+    return val * std::max(0.0, len);
+  };
+  if (bps_.empty()) return piece(lo, hi, constant_);
+  double total = 0.0;
+  const std::size_t n = bps_.size();
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    total += piece(std::max(lo, bps_[k]), std::min(hi, bps_[k + 1]), vals_[k]);
+  }
+  // Wrapping last segment: [bps_[n-1], 2*pi) and [0, bps_[0]).
+  total += piece(std::max(lo, bps_[n - 1]), hi, vals_[n - 1]);
+  total += piece(lo, std::min(hi, bps_[0]), vals_[n - 1]);
+  return total;
+}
+
+SelectionEnvironment::SelectionEnvironment(const CoverageModel& model,
+                                           std::span<const NodeCollection> others)
+    : model_(&model),
+      pt_miss_(model.pois().size(), 1.0),
+      env_(model.pois().size()) {
+  const auto index = build_poi_cover_index(model, others);
+  std::vector<std::pair<double, const ArcSet*>> covers;
+  for (std::size_t poi = 0; poi < index.size(); ++poi) {
+    if (index[poi].empty()) continue;
+    double miss = 1.0;
+    covers.clear();
+    for (const NodePoiCover& c : index[poi]) {
+      miss *= 1.0 - c.p;
+      covers.push_back({c.p, &c.arcs});
+    }
+    pt_miss_[poi] = miss;
+    env_[poi] = PiecewiseMiss::build(covers);
+  }
+}
+
+GreedyPhase::GreedyPhase(const SelectionEnvironment& env, double delivery_prob)
+    : env_(&env),
+      p_(delivery_prob),
+      own_arcs_(env.model().pois().size()),
+      own_covered_(env.model().pois().size(), 0) {
+  PHOTODTN_CHECK_MSG(p_ > 0.0 && p_ <= 1.0, "selection needs p in (0, 1]");
+}
+
+CoverageValue GreedyPhase::gain(const PhotoFootprint& fp) const {
+  CoverageValue g;
+  for (const PoiArc& pa : fp.arcs) {
+    const PointOfInterest& poi = env_->model().pois()[pa.poi_index];
+    if (!own_covered_[pa.poi_index])
+      g.point += poi.weight * env_->point_miss(pa.poi_index) * p_;
+    // Split a wrapping arc into linear pieces.
+    const double start = normalize_angle(pa.arc.start);
+    const double end = start + std::min(pa.arc.length, kTwoPi);
+    const PiecewiseMiss& env_fn = env_->aspect_miss(pa.poi_index);
+    const ArcSet& own = own_arcs_[pa.poi_index];
+    const AspectProfile* profile = poi.profile();
+    double integral = 0.0;
+    if (end <= kTwoPi) {
+      integral = env_fn.integrate_excluding(start, end, own, profile);
+    } else {
+      integral = env_fn.integrate_excluding(start, kTwoPi, own, profile) +
+                 env_fn.integrate_excluding(0.0, end - kTwoPi, own, profile);
+    }
+    g.aspect += poi.weight * p_ * integral;
+  }
+  return g;
+}
+
+void GreedyPhase::commit(const PhotoFootprint& fp) {
+  for (const PoiArc& pa : fp.arcs) {
+    own_covered_[pa.poi_index] = 1;
+    own_arcs_[pa.poi_index].add(pa.arc);
+  }
+}
+
+}  // namespace photodtn

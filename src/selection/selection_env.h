@@ -1,0 +1,96 @@
+// SelectionEnvironment + GreedyPhase: the incremental machinery behind the
+// greedy photo selection of Section III-D.
+//
+// When node n selects photos, every *other* collection in the node set M is
+// fixed. Their effect on the expected coverage of each PoI is captured by:
+//   * a point "miss factor"  prod_{i != n covering PoI} (1 - p_i), and
+//   * a piecewise-constant aspect "miss function"
+//       env(v) = prod_{i != n: v in A_i} (1 - p_i)
+// on the aspect circle. Adding one of n's photos then changes the expected
+// coverage by exactly
+//   dPoint  = w * miss * p_n                  (first covering photo only)
+//   dAspect = w * p_n * integral over (arc minus n's already-selected arcs)
+//             of env(v) dv,
+// so each greedy step is a cheap local computation instead of a full C_ex
+// re-evaluation. GreedyPhase tracks n's tentative selection and exposes
+// gain()/commit().
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "coverage/coverage_model.h"
+#include "coverage/coverage_value.h"
+#include "selection/expected_coverage.h"
+
+namespace photodtn {
+
+/// Piecewise-constant product-of-misses on the aspect circle of one PoI.
+class PiecewiseMiss {
+ public:
+  /// Constant 1 (no other node covers this PoI).
+  PiecewiseMiss() = default;
+
+  /// Builds from the covering nodes' arc sets and delivery probabilities.
+  static PiecewiseMiss build(std::span<const std::pair<double, const ArcSet*>> covers);
+
+  /// env value at an angle.
+  double value_at(double angle) const noexcept;
+
+  /// Integral of env (optionally times an aspect-weight profile) over
+  /// [lo, hi] minus the parts covered by `exclude`, for
+  /// 0 <= lo <= hi <= 2*pi (linear; callers split wrapping arcs).
+  double integrate_excluding(double lo, double hi, const ArcSet& exclude,
+                             const AspectProfile* profile = nullptr) const;
+
+  bool is_constant_one() const noexcept { return bps_.empty() && constant_ == 1.0; }
+
+ private:
+  std::vector<double> bps_;   // sorted breakpoints in [0, 2*pi)
+  std::vector<double> vals_;  // vals_[k] on [bps_[k], bps_[k+1]) (last wraps)
+  double constant_ = 1.0;     // value when bps_ is empty
+};
+
+class SelectionEnvironment {
+ public:
+  /// `others`: every collection in M except the node that will select.
+  SelectionEnvironment(const CoverageModel& model,
+                       std::span<const NodeCollection> others);
+
+  const CoverageModel& model() const noexcept { return *model_; }
+  double point_miss(std::size_t poi) const { return pt_miss_.at(poi); }
+  const PiecewiseMiss& aspect_miss(std::size_t poi) const { return env_.at(poi); }
+
+ private:
+  const CoverageModel* model_;
+  std::vector<double> pt_miss_;
+  std::vector<PiecewiseMiss> env_;
+};
+
+class GreedyPhase {
+ public:
+  /// `delivery_prob` is the selecting node's p, already floored by the
+  /// caller if desired (a common positive factor never changes the greedy
+  /// order, but a literal 0 would make every gain zero and stall selection).
+  GreedyPhase(const SelectionEnvironment& env, double delivery_prob);
+
+  /// Expected-coverage gain of adding this footprint to the tentative
+  /// selection (lexicographic CoverageValue).
+  CoverageValue gain(const PhotoFootprint& fp) const;
+
+  /// Adds the footprint to the tentative selection.
+  void commit(const PhotoFootprint& fp);
+
+  double delivery_prob() const noexcept { return p_; }
+
+  /// The tentative selection's arcs on a PoI (for tests).
+  const ArcSet& own_arcs(std::size_t poi) const { return own_arcs_.at(poi); }
+
+ private:
+  const SelectionEnvironment* env_;
+  double p_;
+  std::vector<ArcSet> own_arcs_;
+  std::vector<char> own_covered_;
+};
+
+}  // namespace photodtn

@@ -1,0 +1,96 @@
+#include "sim/experiment.h"
+
+#include <future>
+#include <thread>
+
+#include "schemes/factory.h"
+#include "trace/trace_io.h"
+#include "util/check.h"
+#include "workload/poi_gen.h"
+
+namespace photodtn {
+
+SimResult run_single(const ExperimentSpec& spec, std::uint64_t seed) {
+  const ScenarioConfig& sc = spec.scenario;
+
+  Rng root(seed);
+  Rng poi_rng = root.split("pois");
+  Rng photo_rng = root.split("photos");
+
+  const PoiList pois = generate_uniform_pois(sc.num_pois, sc.region_m, poi_rng);
+  CoverageModel model(pois, sc.effective_angle);
+  model.set_quality_threshold(sc.quality_threshold);
+
+  SyntheticTraceConfig trace_cfg = sc.trace;
+  trace_cfg.seed = seed ^ 0x7ace5eedULL;
+  ContactTrace trace = spec.trace_file.empty() ? generate_synthetic_trace(trace_cfg)
+                                               : read_trace_file(spec.trace_file);
+  if (spec.max_contact_duration_s)
+    trace = trace.with_max_duration(*spec.max_contact_duration_s);
+
+  PhotoGenerator gen(sc, pois, spec.photo_options);
+  std::vector<PhotoEvent> events =
+      gen.generate(trace.horizon(), trace.num_nodes() - 1, photo_rng);
+
+  SchemeOptions scheme_opts;
+  scheme_opts.p_thld = sc.p_thld;
+  std::unique_ptr<Scheme> scheme = make_scheme(spec.scheme, scheme_opts);
+  SimConfig sim_cfg = sc.sim;
+  sim_cfg.seed = seed ^ 0x51eedbeefULL;
+  if (scheme->wants_unlimited_storage()) sim_cfg.unlimited_storage = true;
+  if (scheme->wants_unlimited_bandwidth()) sim_cfg.unlimited_bandwidth = true;
+
+  Simulator sim(model, trace, std::move(events), sim_cfg);
+  return sim.run(*scheme);
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  PHOTODTN_CHECK(spec.runs >= 1);
+  std::vector<std::future<SimResult>> futures;
+  futures.reserve(spec.runs);
+  for (std::size_t k = 0; k < spec.runs; ++k) {
+    futures.push_back(std::async(std::launch::async,
+                                 [&spec, k] { return run_single(spec, spec.seed_base + k); }));
+  }
+
+  ExperimentResult out;
+  out.scheme = spec.scheme;
+  for (auto& f : futures) {
+    const SimResult r = f.get();
+    if (out.sample_times.empty()) {
+      out.sample_times.reserve(r.samples.size());
+      for (const SimSample& s : r.samples) out.sample_times.push_back(s.time);
+    }
+    std::vector<double> point, aspect, delivered;
+    point.reserve(r.samples.size());
+    for (const SimSample& s : r.samples) {
+      point.push_back(s.point_coverage);
+      aspect.push_back(s.aspect_coverage);
+      delivered.push_back(static_cast<double>(s.delivered_photos));
+    }
+    out.point.add_series(point);
+    out.aspect.add_series(aspect);
+    out.delivered.add_series(delivered);
+    out.final_point.add(r.final_point_norm);
+    out.final_aspect.add(r.final_aspect_norm);
+    if (!r.samples.empty()) out.final_full_view.add(r.samples.back().full_view_coverage);
+    out.final_delivered.add(static_cast<double>(r.delivered_photos));
+    out.total_transfers.add(static_cast<double>(r.counters.transfers));
+    out.total_drops.add(static_cast<double>(r.counters.drops));
+  }
+  return out;
+}
+
+std::vector<ExperimentResult> run_comparison(const ExperimentSpec& base,
+                                             const std::vector<std::string>& schemes) {
+  std::vector<ExperimentResult> out;
+  out.reserve(schemes.size());
+  for (const std::string& name : schemes) {
+    ExperimentSpec spec = base;
+    spec.scheme = name;
+    out.push_back(run_experiment(spec));
+  }
+  return out;
+}
+
+}  // namespace photodtn

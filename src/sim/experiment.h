@@ -1,0 +1,62 @@
+// Experiment runner: (scenario x scheme x seeds) -> averaged metric curves.
+// Each run builds its own PoI list, trace, workload, and simulator from the
+// run seed, so runs are independent and reproducible; runs execute in
+// parallel across hardware threads.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dtn/simulator.h"
+#include "util/stats.h"
+#include "workload/photo_gen.h"
+#include "workload/scenario.h"
+
+namespace photodtn {
+
+struct ExperimentSpec {
+  ScenarioConfig scenario;
+  /// Scheme factory name (see schemes/factory.h).
+  std::string scheme = "OurScheme";
+  /// Number of independent runs (the paper averages 50; benches default
+  /// lower and honour PHOTODTN_BENCH_RUNS).
+  std::size_t runs = 5;
+  std::uint64_t seed_base = 1;
+  /// Cap on contact duration (Fig. 6); nullopt = use the trace as-is.
+  std::optional<double> max_contact_duration_s;
+  /// Options forwarded to the photo generator.
+  PhotoGenOptions photo_options;
+  /// When non-empty, replay this trace file (trace/trace_io.h format)
+  /// instead of generating a synthetic trace. Runs then differ only in PoI
+  /// placement, the photo workload, and scheme randomness — exactly the
+  /// paper's "trace-driven" methodology with a real imported trace.
+  std::string trace_file;
+};
+
+struct ExperimentResult {
+  std::string scheme;
+  std::vector<double> sample_times;
+  SeriesStats point;      // normalized point coverage over time
+  SeriesStats aspect;     // normalized aspect coverage (radians) over time
+  SeriesStats delivered;  // photos delivered over time
+  RunningStats final_point;
+  RunningStats final_aspect;
+  RunningStats final_full_view;
+  RunningStats final_delivered;
+  RunningStats total_transfers;
+  RunningStats total_drops;
+};
+
+/// One full simulation run; exposed so tests can drive single runs.
+SimResult run_single(const ExperimentSpec& spec, std::uint64_t seed);
+
+/// Runs `spec.runs` seeds (seed_base, seed_base+1, ...) in parallel and
+/// aggregates.
+ExperimentResult run_experiment(const ExperimentSpec& spec);
+
+/// Convenience: the same scenario under several schemes.
+std::vector<ExperimentResult> run_comparison(const ExperimentSpec& base,
+                                             const std::vector<std::string>& schemes);
+
+}  // namespace photodtn

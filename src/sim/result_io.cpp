@@ -1,0 +1,61 @@
+#include "sim/result_io.h"
+
+#include <fstream>
+
+#include "util/json.h"
+
+namespace photodtn {
+
+namespace {
+
+void write_result(JsonWriter& w, const ExperimentResult& r) {
+  w.begin_object();
+  w.kv("scheme", r.scheme);
+  w.kv("runs", static_cast<std::uint64_t>(r.point.runs()));
+  w.kv_array("sample_times_s", r.sample_times);
+  w.kv_array("point_mean", r.point.means());
+  w.kv_array("point_ci95", r.point.ci95());
+  w.kv_array("aspect_mean", r.aspect.means());
+  w.kv_array("aspect_ci95", r.aspect.ci95());
+  w.kv_array("delivered_mean", r.delivered.means());
+  w.key("final");
+  w.begin_object();
+  w.kv("point_mean", r.final_point.mean());
+  w.kv("point_ci95", r.final_point.ci95_half_width());
+  w.kv("aspect_mean", r.final_aspect.mean());
+  w.kv("aspect_ci95", r.final_aspect.ci95_half_width());
+  w.kv("delivered_mean", r.final_delivered.mean());
+  w.kv("transfers_mean", r.total_transfers.mean());
+  w.kv("drops_mean", r.total_drops.mean());
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string experiment_result_to_json(const ExperimentResult& result) {
+  JsonWriter w;
+  write_result(w, result);
+  return w.str();
+}
+
+std::string comparison_to_json(std::span<const ExperimentResult> results) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("results");
+  w.begin_array();
+  for (const ExperimentResult& r : results) write_result(w, r);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool write_comparison_json(const std::string& path,
+                           std::span<const ExperimentResult> results) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << comparison_to_json(results) << '\n';
+  return static_cast<bool>(f);
+}
+
+}  // namespace photodtn

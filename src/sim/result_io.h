@@ -1,0 +1,24 @@
+// Machine-readable export of experiment results (JSON), for plotting
+// pipelines and archival of reproduction runs.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "sim/experiment.h"
+
+namespace photodtn {
+
+/// Serializes one result: scheme, sample grid, mean curves with 95% CIs,
+/// and final-value statistics.
+std::string experiment_result_to_json(const ExperimentResult& result);
+
+/// Serializes a whole comparison: {"results": [...]}.
+std::string comparison_to_json(std::span<const ExperimentResult> results);
+
+/// Writes comparison JSON to `path`; returns false if the file cannot be
+/// written.
+bool write_comparison_json(const std::string& path,
+                           std::span<const ExperimentResult> results);
+
+}  // namespace photodtn

@@ -1,0 +1,69 @@
+#include "trace/temporal_reachability.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace photodtn {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::vector<double> earliest_arrival(const ContactTrace& trace, NodeId target) {
+  // One forward sweep per origin: O(nodes x contacts). Traces here are tens
+  // of thousands of contacts at most, so the simple exact form wins over a
+  // cleverer single-sweep formulation.
+  std::vector<double> arrival(static_cast<std::size_t>(trace.num_nodes()), kInf);
+  for (NodeId n = 0; n < trace.num_nodes(); ++n)
+    arrival[static_cast<std::size_t>(n)] =
+        earliest_arrival_from(trace, n, 0.0, target);
+  return arrival;
+}
+
+double earliest_arrival_from(const ContactTrace& trace, NodeId origin,
+                             double origin_time, NodeId target) {
+  PHOTODTN_CHECK(origin >= 0 && origin < trace.num_nodes());
+  PHOTODTN_CHECK(target >= 0 && target < trace.num_nodes());
+  if (origin == target) return origin_time;
+  std::vector<double> holds(static_cast<std::size_t>(trace.num_nodes()), kInf);
+  holds[static_cast<std::size_t>(origin)] = origin_time;
+  // Contacts are sorted by (start, a, b); transfers happen at contact start,
+  // matching the simulator's processing order exactly (including chains of
+  // equal-time contacts, which resolve in the same deterministic order).
+  for (const Contact& c : trace.contacts()) {
+    double& ha = holds[static_cast<std::size_t>(c.a)];
+    double& hb = holds[static_cast<std::size_t>(c.b)];
+    if (ha <= c.start && c.start < hb) hb = c.start;
+    if (hb <= c.start && c.start < ha) ha = c.start;
+  }
+  return holds[static_cast<std::size_t>(target)];
+}
+
+std::vector<bool> reachable_to_center(
+    const ContactTrace& trace, const std::vector<std::pair<NodeId, double>>& items) {
+  // Backward sweep: deadline[n] = the latest time t such that data present
+  // at n at time <= t still reaches the center through later contacts.
+  std::vector<double> deadline(static_cast<std::size_t>(trace.num_nodes()),
+                               -kInf);
+  deadline[static_cast<std::size_t>(kCommandCenter)] = kInf;
+  const auto& contacts = trace.contacts();
+  for (auto it = contacts.rbegin(); it != contacts.rend(); ++it) {
+    const Contact& c = *it;
+    double& da = deadline[static_cast<std::size_t>(c.a)];
+    double& db = deadline[static_cast<std::size_t>(c.b)];
+    // Data at b existing by c.start hops to a at c.start; it still makes it
+    // if a's deadline admits time c.start.
+    if (da >= c.start) db = std::max(db, c.start);
+    if (db >= c.start) da = std::max(da, c.start);
+  }
+  std::vector<bool> out(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& [node, t] = items[i];
+    PHOTODTN_CHECK(node >= 0 && node < trace.num_nodes());
+    out[i] = deadline[static_cast<std::size_t>(node)] >= t;
+  }
+  return out;
+}
+
+}  // namespace photodtn

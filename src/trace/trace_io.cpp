@@ -1,0 +1,70 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace photodtn {
+
+void write_trace(std::ostream& os, const ContactTrace& trace) {
+  os << "# photodtn-trace v1 nodes=" << trace.num_nodes()
+     << " horizon=" << trace.horizon() << '\n';
+  os << "start,duration,a,b\n";
+  os.precision(17);
+  for (const Contact& c : trace.contacts())
+    os << c.start << ',' << c.duration << ',' << c.a << ',' << c.b << '\n';
+}
+
+bool write_trace_file(const std::string& path, const ContactTrace& trace) {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_trace(f, trace);
+  return static_cast<bool>(f);
+}
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("malformed trace file: " + what);
+}
+
+}  // namespace
+
+ContactTrace read_trace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) malformed("empty input");
+  NodeId nodes = 0;
+  double horizon = 0.0;
+  {
+    std::istringstream header(line);
+    std::string tok;
+    while (header >> tok) {
+      if (tok.rfind("nodes=", 0) == 0) nodes = static_cast<NodeId>(std::stol(tok.substr(6)));
+      if (tok.rfind("horizon=", 0) == 0) horizon = std::stod(tok.substr(8));
+    }
+  }
+  if (nodes < 2) malformed("missing or invalid nodes= in header");
+  if (!std::getline(is, line)) malformed("missing column header");
+
+  std::vector<Contact> contacts;
+  std::size_t line_no = 2;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    Contact c;
+    char comma = 0;
+    if (!(row >> c.start >> comma >> c.duration >> comma >> c.a >> comma >> c.b))
+      malformed("bad row at line " + std::to_string(line_no));
+    contacts.push_back(c);
+  }
+  return ContactTrace{std::move(contacts), nodes, horizon};
+}
+
+ContactTrace read_trace_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  return read_trace(f);
+}
+
+}  // namespace photodtn

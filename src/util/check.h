@@ -1,0 +1,31 @@
+// Lightweight contract checks. These guard invariants and preconditions that
+// indicate programming errors (not runtime conditions a caller can recover
+// from), so they throw std::logic_error with the failing expression.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace photodtn {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace photodtn
+
+// Always-on check (cheap conditions on hot-but-not-critical paths).
+#define PHOTODTN_CHECK(expr)                                              \
+  do {                                                                    \
+    if (!(expr)) ::photodtn::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define PHOTODTN_CHECK_MSG(expr, msg)                                       \
+  do {                                                                      \
+    if (!(expr)) ::photodtn::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

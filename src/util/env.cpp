@@ -1,0 +1,25 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace photodtn {
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
+double env_double(const std::string& name, double fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
+}  // namespace photodtn

@@ -1,0 +1,16 @@
+// Environment-variable knobs for the bench harness (run counts, scale).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace photodtn {
+
+/// Reads an integer environment variable, returning `fallback` when unset
+/// or unparsable. Used by benches for PHOTODTN_BENCH_RUNS etc.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Reads a double environment variable with the same fallback semantics.
+double env_double(const std::string& name, double fallback);
+
+}  // namespace photodtn

@@ -1,0 +1,129 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+
+namespace photodtn {
+
+void JsonWriter::separator() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows "key":
+  }
+  if (comma_stack_.back()) out_ << ',';
+  comma_stack_.back() = true;
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separator();
+  out_ << '{';
+  comma_stack_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  comma_stack_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separator();
+  out_ << '[';
+  comma_stack_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  comma_stack_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  separator();
+  out_ << '"' << escape(name) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& s) {
+  separator();
+  out_ << '"' << escape(s) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  separator();
+  if (!std::isfinite(d)) {
+    out_ << "null";
+  } else {
+    out_ << std::setprecision(17) << d;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t i) {
+  separator();
+  out_ << i;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t u) {
+  separator();
+  out_ << u;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  separator();
+  out_ << (b ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  separator();
+  out_ << "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::kv_array(const std::string& name,
+                                 const std::vector<double>& values) {
+  key(name);
+  begin_array();
+  for (const double v : values) value(v);
+  return end_array();
+}
+
+bool JsonWriter::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << str() << '\n';
+  return static_cast<bool>(f);
+}
+
+}  // namespace photodtn

@@ -1,0 +1,56 @@
+// Minimal JSON writer (no parsing, no external deps): enough to export
+// experiment results for plotting pipelines. Produces compact, valid JSON;
+// strings are escaped, doubles are emitted round-trippably, and NaN/inf are
+// rendered as null (JSON has no representation for them).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace photodtn {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key; must be followed by a value (or container begin).
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& s);
+  JsonWriter& value(const char* s) { return value(std::string(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(std::int64_t i);
+  JsonWriter& value(std::uint64_t u);
+  JsonWriter& value(bool b);
+  JsonWriter& null();
+
+  /// Convenience: key + value.
+  template <typename T>
+  JsonWriter& kv(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// Convenience: key + array of doubles.
+  JsonWriter& kv_array(const std::string& name, const std::vector<double>& values);
+
+  /// The document so far. Valid JSON once every container is closed.
+  std::string str() const { return out_.str(); }
+  bool write_file(const std::string& path) const;
+
+ private:
+  void separator();
+  static std::string escape(const std::string& s);
+
+  std::ostringstream out_;
+  // Per-depth "needs comma before next element" flags.
+  std::vector<bool> comma_stack_{false};
+  bool pending_key_ = false;
+};
+
+}  // namespace photodtn

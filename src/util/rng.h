@@ -1,0 +1,71 @@
+// Deterministic, splittable random number generation.
+//
+// Simulations must be reproducible run-to-run and independent across streams
+// (e.g. the photo-generation stream must not perturb the mobility stream when
+// a parameter changes). We use xoshiro256** seeded via SplitMix64, with a
+// `split()` operation deriving decorrelated child streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace photodtn {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+/// Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words through SplitMix64 so that any 64-bit seed
+  /// (including 0) yields a well-mixed state.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Derives an independent child stream. The child's seed mixes this
+  /// stream's next output with `tag`, so calling split("photos") and
+  /// split("mobility") yields decorrelated generators even from the same
+  /// parent state.
+  Rng split(std::string_view tag) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Exponential with rate lambda (> 0); mean 1/lambda.
+  double exponential(double lambda) noexcept;
+  /// Standard normal via Box–Muller (no cached spare: keeps state minimal).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Fisher–Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) noexcept {
+    const auto n = static_cast<std::int64_t>(c.size());
+    for (std::int64_t i = n - 1; i > 0; --i) {
+      const auto j = uniform_int(0, i);
+      using std::swap;
+      swap(c[static_cast<std::size_t>(i)], c[static_cast<std::size_t>(j)]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// SplitMix64 step: used for seeding and for hashing tags.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// FNV-1a hash of a string, for deriving stream tags.
+std::uint64_t hash_tag(std::string_view tag) noexcept;
+
+}  // namespace photodtn

@@ -1,0 +1,70 @@
+#include "viz/coverage_scene.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace photodtn {
+
+SvgCanvas render_coverage_scene(const CoverageModel& model,
+                                std::span<const PhotoMeta> photos,
+                                const CoverageMap* covered,
+                                const SceneOptions& options) {
+  // Fit the canvas to everything drawn: PoIs (plus their rings) and photo
+  // sectors.
+  PHOTODTN_CHECK_MSG(!model.pois().empty() || !photos.empty(),
+                     "nothing to render");
+  Vec2 lo{1e18, 1e18}, hi{-1e18, -1e18};
+  auto extend = [&](Vec2 p, double pad) {
+    lo.x = std::min(lo.x, p.x - pad);
+    lo.y = std::min(lo.y, p.y - pad);
+    hi.x = std::max(hi.x, p.x + pad);
+    hi.y = std::max(hi.y, p.y + pad);
+  };
+  for (const PointOfInterest& poi : model.pois())
+    extend(poi.location, options.ring_radius_m * 2.0);
+  for (const PhotoMeta& p : photos) extend(p.location, p.range);
+
+  SvgCanvas canvas(lo, hi, options.width_px);
+
+  // Photo wedges first (background), colored by owner.
+  for (const PhotoMeta& p : photos) {
+    SvgStyle wedge;
+    const auto owner = static_cast<std::size_t>(std::max<NodeId>(p.taken_by, 0));
+    wedge.fill = options.palette[owner % options.palette.size()];
+    wedge.stroke = wedge.fill;
+    wedge.opacity = 0.25;
+    canvas.sector(p.location, p.range, p.fov, p.orientation, wedge);
+    // Optical-axis line, like the dashed viewing directions in Fig. 3.
+    SvgStyle axis;
+    axis.stroke = wedge.fill;
+    axis.stroke_width = 0.8;
+    canvas.line(p.location,
+                p.location + Vec2::from_heading(p.orientation) * p.range, axis);
+  }
+
+  // PoIs: cross markers plus the covered aspect rings.
+  for (std::size_t i = 0; i < model.pois().size(); ++i) {
+    const PointOfInterest& poi = model.pois()[i];
+    SvgStyle cross;
+    cross.stroke = "black";
+    cross.stroke_width = 1.5;
+    const double s = options.ring_radius_m * 0.3;
+    canvas.line(poi.location - Vec2{s, 0}, poi.location + Vec2{s, 0}, cross);
+    canvas.line(poi.location - Vec2{0, s}, poi.location + Vec2{0, s}, cross);
+    if (covered != nullptr) {
+      SvgStyle ring;
+      ring.fill = "#444444";
+      ring.opacity = 0.7;
+      canvas.aspect_ring(poi.location, options.ring_radius_m, covered->poi_arcs(i),
+                         options.ring_thickness_m, ring);
+    }
+    if (options.label_pois) {
+      canvas.text(poi.location + Vec2{s * 1.5, s * 1.5},
+                  "PoI " + std::to_string(poi.id));
+    }
+  }
+  return canvas;
+}
+
+}  // namespace photodtn

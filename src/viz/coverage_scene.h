@@ -1,0 +1,34 @@
+// Renders a crowdsourcing scene — PoIs, photo wedges, and covered aspect
+// rings — as the Fig. 2(b)/Fig. 3-style map.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "coverage/coverage_map.h"
+#include "coverage/coverage_model.h"
+#include "viz/svg_canvas.h"
+
+namespace photodtn {
+
+struct SceneOptions {
+  double width_px = 800.0;
+  /// Radius of the aspect ring drawn around each PoI, in meters.
+  double ring_radius_m = 40.0;
+  double ring_thickness_m = 12.0;
+  /// Color per photo owner (cycled); photos by unknown owners use gray.
+  std::vector<std::string> palette{"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728",
+                                   "#9467bd", "#8c564b", "#e377c2", "#7f7f7f"};
+  bool label_pois = true;
+};
+
+/// Draws PoIs (crosses + covered aspect rings from `covered`, which may be
+/// null for "no coverage overlay") and the photos as camera wedges colored
+/// by owner. The canvas bounds are fitted to the drawn geometry.
+SvgCanvas render_coverage_scene(const CoverageModel& model,
+                                std::span<const PhotoMeta> photos,
+                                const CoverageMap* covered,
+                                const SceneOptions& options = {});
+
+}  // namespace photodtn

@@ -1,0 +1,58 @@
+// Minimal SVG emitter for coverage scenes (the Fig. 2/3-style maps). World
+// coordinates are meters with y growing north; the canvas flips y for SVG.
+// No external dependencies; output is a standalone .svg file.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+#include "geometry/arc_set.h"
+#include "geometry/vec2.h"
+
+namespace photodtn {
+
+struct SvgStyle {
+  std::string fill = "none";
+  std::string stroke = "black";
+  double stroke_width = 1.0;  // in pixels
+  double opacity = 1.0;
+};
+
+class SvgCanvas {
+ public:
+  /// Maps the world rectangle [min, max] onto a pixel canvas of the given
+  /// width; height follows the aspect ratio. `margin_px` padding all around.
+  SvgCanvas(Vec2 world_min, Vec2 world_max, double width_px = 800.0,
+            double margin_px = 20.0);
+
+  void circle(Vec2 center, double radius_m, const SvgStyle& style);
+  void line(Vec2 from, Vec2 to, const SvgStyle& style);
+  /// Camera wedge: the Fig. 1(a)/2(b) "V" shape.
+  void sector(Vec2 apex, double range_m, double fov_rad, double orientation_rad,
+              const SvgStyle& style);
+  /// Covered aspect intervals drawn as ring segments of `radius_m` around
+  /// `center` (the gray areas of Fig. 3).
+  void aspect_ring(Vec2 center, double radius_m, const ArcSet& covered,
+                   double thickness_m, const SvgStyle& style);
+  void text(Vec2 pos, const std::string& label, double size_px = 12.0,
+            const std::string& color = "black");
+
+  /// Complete SVG document.
+  std::string str() const;
+  bool write_file(const std::string& path) const;
+
+  /// Pixel position of a world point (exposed for tests).
+  Vec2 to_pixels(Vec2 world) const noexcept;
+
+ private:
+  Vec2 world_min_;
+  Vec2 world_max_;
+  double scale_;
+  double margin_;
+  double width_px_;
+  double height_px_;
+  std::ostringstream body_;
+};
+
+}  // namespace photodtn

@@ -1,0 +1,119 @@
+#include "workload/photo_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "coverage/photo.h"
+#include "geometry/angle.h"
+#include "util/check.h"
+
+namespace photodtn {
+
+PhotoGenerator::PhotoGenerator(const ScenarioConfig& cfg, const PoiList& pois,
+                               PhotoGenOptions options)
+    : cfg_(&cfg), pois_(&pois), options_(options) {
+  PHOTODTN_CHECK(options_.aimed_fraction >= 0.0 && options_.aimed_fraction <= 1.0);
+}
+
+Vec2 PhotoGenerator::pick_location(double t, NodeId node, Rng& rng) {
+  if (options_.mobility != nullptr) return options_.mobility->position(node, t);
+  if (options_.location_hotspots == 0)
+    return {rng.uniform(0.0, cfg_->region_m), rng.uniform(0.0, cfg_->region_m)};
+  if (hotspots_.empty()) {
+    for (std::size_t h = 0; h < options_.location_hotspots; ++h)
+      hotspots_.push_back({rng.uniform(0.0, cfg_->region_m),
+                           rng.uniform(0.0, cfg_->region_m)});
+  }
+  const Vec2 hub = hotspots_[static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(hotspots_.size()) - 1))];
+  return {std::clamp(hub.x + rng.normal(0.0, options_.hotspot_sigma_m), 0.0,
+                     cfg_->region_m),
+          std::clamp(hub.y + rng.normal(0.0, options_.hotspot_sigma_m), 0.0,
+                     cfg_->region_m)};
+}
+
+PhotoMeta PhotoGenerator::make_photo(double t, NodeId node, Rng& rng) {
+  PhotoMeta p;
+  p.id = next_id_++;
+  p.taken_by = node;
+  p.taken_at = t;
+  p.size_bytes = cfg_->photo_size_bytes;
+  p.location = pick_location(t, node, rng);
+  p.fov = rng.uniform(cfg_->fov_min, cfg_->fov_max);
+  const double c = rng.uniform(cfg_->range_coeff_min_m, cfg_->range_coeff_max_m);
+  p.range = coverage_range_from_fov(p.fov, c);
+  p.quality = options_.low_quality_fraction > 0.0 &&
+                      rng.bernoulli(options_.low_quality_fraction)
+                  ? rng.uniform(0.0, 0.5)
+                  : rng.uniform(0.5, 1.0);
+
+  p.orientation = rng.uniform(0.0, kTwoPi);
+  if (options_.aimed_fraction > 0.0 && rng.bernoulli(options_.aimed_fraction)) {
+    // Aim at a random PoI within the search radius, if any.
+    std::vector<const PointOfInterest*> nearby;
+    for (const PointOfInterest& poi : *pois_)
+      if (poi.location.distance_to(p.location) <= options_.aim_search_radius_m)
+        nearby.push_back(&poi);
+    if (!nearby.empty()) {
+      const auto* target = nearby[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(nearby.size()) - 1))];
+      const double heading = (target->location - p.location).heading();
+      p.orientation = normalize_angle(heading + rng.uniform(-deg_to_rad(5.0),
+                                                            deg_to_rad(5.0)));
+    }
+  }
+  if (options_.sensor_noise) {
+    truth_.emplace(p.id, p);
+    p = apply_sensor_noise(p, *options_.sensor_noise, rng);
+  }
+  return p;
+}
+
+PhotoEvent PhotoGenerator::generate_one(double t, NodeId node, Rng& rng) {
+  return PhotoEvent{t, node, make_photo(t, node, rng)};
+}
+
+void apply_mit_calibration(ScenarioConfig& scenario, PhotoGenOptions& photos) {
+  scenario.trace.mean_on_s = 8.0 * 3600.0;
+  scenario.trace.mean_off_s = 16.0 * 3600.0;
+  photos.location_hotspots = 20;
+  photos.hotspot_sigma_m = 450.0;
+}
+
+std::vector<PhotoEvent> PhotoGenerator::generate(double horizon_s,
+                                                 NodeId num_participants, Rng& rng) {
+  PHOTODTN_CHECK(num_participants >= 1 && horizon_s > 0.0);
+  PHOTODTN_CHECK(options_.burst_size >= 1);
+  const double burst = static_cast<double>(options_.burst_size);
+  // Burst arrivals at rate/burst keep the long-run photo rate unchanged.
+  const double rate_per_s = cfg_->photo_rate_per_hour / 3600.0 / burst;
+  std::vector<PhotoEvent> events;
+  if (rate_per_s <= 0.0) return events;
+  double t = rng.exponential(rate_per_s);
+  while (t < horizon_s) {
+    const auto node =
+        static_cast<NodeId>(rng.uniform_int(1, static_cast<std::int64_t>(num_participants)));
+    const PhotoEvent first{t, node, make_photo(t, node, rng)};
+    events.push_back(first);
+    for (std::uint32_t k = 1; k < options_.burst_size; ++k) {
+      const double tk = t + rng.uniform(0.0, options_.burst_spread_s);
+      if (tk >= horizon_s) break;
+      PhotoMeta p = make_photo(tk, node, rng);
+      // Burst photos cluster on the first shot's pose.
+      p.location = first.photo.location +
+                   Vec2{rng.normal(0.0, options_.burst_location_jitter_m),
+                        rng.normal(0.0, options_.burst_location_jitter_m)};
+      p.orientation = normalize_angle(
+          first.photo.orientation +
+          rng.uniform(-options_.burst_orientation_jitter_rad,
+                      options_.burst_orientation_jitter_rad));
+      events.push_back(PhotoEvent{tk, node, p});
+    }
+    t += rng.exponential(rate_per_s);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const PhotoEvent& x, const PhotoEvent& y) { return x.time < y.time; });
+  return events;
+}
+
+}  // namespace photodtn

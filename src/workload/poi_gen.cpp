@@ -1,0 +1,48 @@
+#include "workload/poi_gen.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace photodtn {
+
+PoiList generate_uniform_pois(std::size_t n, double region_m, Rng& rng) {
+  PHOTODTN_CHECK(region_m > 0.0);
+  PoiList pois;
+  pois.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    PointOfInterest poi;
+    poi.id = static_cast<std::int32_t>(i);
+    poi.location = {rng.uniform(0.0, region_m), rng.uniform(0.0, region_m)};
+    pois.push_back(std::move(poi));
+  }
+  return pois;
+}
+
+PoiList generate_clustered_pois(std::size_t n, double region_m, std::size_t centers,
+                                double spread_m, Rng& rng) {
+  PHOTODTN_CHECK(centers >= 1);
+  std::vector<Vec2> hubs;
+  hubs.reserve(centers);
+  for (std::size_t c = 0; c < centers; ++c)
+    hubs.push_back({rng.uniform(0.0, region_m), rng.uniform(0.0, region_m)});
+  PoiList pois;
+  pois.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 hub = hubs[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(centers) - 1))];
+    PointOfInterest poi;
+    poi.id = static_cast<std::int32_t>(i);
+    poi.location = {std::clamp(hub.x + rng.normal(0.0, spread_m), 0.0, region_m),
+                    std::clamp(hub.y + rng.normal(0.0, spread_m), 0.0, region_m)};
+    pois.push_back(std::move(poi));
+  }
+  return pois;
+}
+
+void randomize_weights(PoiList& pois, double w_min, double w_max, Rng& rng) {
+  PHOTODTN_CHECK(w_min > 0.0 && w_max >= w_min);
+  for (PointOfInterest& p : pois) p.weight = rng.uniform(w_min, w_max);
+}
+
+}  // namespace photodtn

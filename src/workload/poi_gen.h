@@ -1,0 +1,23 @@
+// PoI list generators.
+#pragma once
+
+#include "coverage/poi.h"
+#include "util/rng.h"
+
+namespace photodtn {
+
+/// `n` PoIs uniformly random in the square [0, region]^2, unit weight
+/// (Section V-A).
+PoiList generate_uniform_pois(std::size_t n, double region_m, Rng& rng);
+
+/// PoIs clustered around `centers` hotspots (e.g. damaged blocks in a
+/// disaster scenario); `spread_m` is the per-cluster normal std-dev.
+/// Positions are clamped to the region.
+PoiList generate_clustered_pois(std::size_t n, double region_m, std::size_t centers,
+                                double spread_m, Rng& rng);
+
+/// Assigns each PoI a weight uniform in [w_min, w_max] (the weighted
+/// extension of Section II-C).
+void randomize_weights(PoiList& pois, double w_min, double w_max, Rng& rng);
+
+}  // namespace photodtn

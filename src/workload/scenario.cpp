@@ -1,0 +1,32 @@
+#include "workload/scenario.h"
+
+namespace photodtn {
+
+namespace {
+
+ScenarioConfig base(std::uint64_t seed, SyntheticTraceConfig trace_cfg) {
+  ScenarioConfig cfg;
+  cfg.trace = trace_cfg;
+  cfg.trace.seed = seed;
+  cfg.sim.seed = seed ^ 0xDA7A5EEDULL;
+  cfg.sim.prophet = ProphetConfig{};  // Table I: 0.75 / 0.25 / 0.98
+  cfg.sim.node_storage_bytes = 600ULL * 1000 * 1000;
+  cfg.sim.bandwidth_bytes_per_s = 2.0e6;
+  return cfg;
+}
+
+}  // namespace
+
+ScenarioConfig ScenarioConfig::mit(std::uint64_t seed) {
+  ScenarioConfig cfg = base(seed, SyntheticTraceConfig::mit_reality(seed));
+  cfg.sim.sample_interval_s = 10.0 * 3600.0;  // 30 samples across 300 h
+  return cfg;
+}
+
+ScenarioConfig ScenarioConfig::cambridge(std::uint64_t seed) {
+  ScenarioConfig cfg = base(seed, SyntheticTraceConfig::cambridge06(seed));
+  cfg.sim.sample_interval_s = 10.0 * 3600.0;  // 20 samples across 200 h
+  return cfg;
+}
+
+}  // namespace photodtn

@@ -1,0 +1,27 @@
+#include "workload/sensor_model.h"
+
+#include <algorithm>
+
+#include "geometry/angle.h"
+
+namespace photodtn {
+
+PhotoMeta apply_sensor_noise(const PhotoMeta& truth, const SensorNoise& noise, Rng& rng) {
+  PhotoMeta out = truth;
+  if (noise.gps_sigma_m > 0.0) {
+    out.location.x += rng.normal(0.0, noise.gps_sigma_m);
+    out.location.y += rng.normal(0.0, noise.gps_sigma_m);
+  }
+  if (noise.orientation_max_err_rad > 0.0) {
+    out.orientation = normalize_angle(
+        out.orientation +
+        rng.uniform(-noise.orientation_max_err_rad, noise.orientation_max_err_rad));
+  }
+  if (noise.fov_rel_sigma > 0.0) {
+    const double factor = std::max(0.5, 1.0 + rng.normal(0.0, noise.fov_rel_sigma));
+    out.fov = std::clamp(out.fov * factor, deg_to_rad(5.0), deg_to_rad(175.0));
+  }
+  return out;
+}
+
+}  // namespace photodtn

@@ -1,0 +1,28 @@
+// Sensor noise model substituting for the Android prototype of Section IV:
+// metadata is never perfect — GPS adds meters of error and the fused
+// accelerometer/magnetometer/gyroscope orientation is within ~5 degrees.
+// Applying this to ground-truth metadata exercises the same pipeline as the
+// paper's prototype and lets the ablation bench quantify the effect of
+// sensor error on coverage.
+#pragma once
+
+#include "coverage/photo.h"
+#include "util/rng.h"
+
+namespace photodtn {
+
+struct SensorNoise {
+  /// GPS horizontal error std-dev; the paper cites common errors of
+  /// 5–8.5 m, so the default sigma reproduces that band.
+  double gps_sigma_m = 4.0;
+  /// Maximum orientation error (uniform in [-max, +max]); Section IV-A
+  /// reports a 5-degree maximum after sensor fusion.
+  double orientation_max_err_rad = 5.0 * 3.14159265358979323846 / 180.0;
+  /// Relative error on the field-of-view reported by the camera API.
+  double fov_rel_sigma = 0.0;
+};
+
+/// Returns a copy of `truth` with sensor noise applied (same id/size/time).
+PhotoMeta apply_sensor_noise(const PhotoMeta& truth, const SensorNoise& noise, Rng& rng);
+
+}  // namespace photodtn

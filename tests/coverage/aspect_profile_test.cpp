@@ -1,0 +1,125 @@
+#include "coverage/aspect_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "coverage/coverage_map.h"
+#include "geometry/angle.h"
+#include "test_util.h"
+
+namespace photodtn {
+namespace {
+
+using test::photo_viewing;
+
+TEST(AspectProfile, UniformByDefault) {
+  const AspectProfile p;
+  EXPECT_TRUE(p.is_uniform());
+  EXPECT_DOUBLE_EQ(p.weight_at(1.0), 1.0);
+  EXPECT_NEAR(p.total(), kTwoPi, 1e-12);
+}
+
+TEST(AspectProfile, SetBandOverridesWeight) {
+  AspectProfile p;
+  p.set_band(Arc{0.0, 1.0}, 3.0);  // [0, 1] -> weight 3
+  EXPECT_DOUBLE_EQ(p.weight_at(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(p.weight_at(2.0), 1.0);
+  EXPECT_NEAR(p.total(), kTwoPi - 1.0 + 3.0, 1e-9);
+}
+
+TEST(AspectProfile, LaterBandsWin) {
+  AspectProfile p;
+  p.set_band(Arc{0.0, 2.0}, 3.0);
+  p.set_band(Arc{1.0, 0.5}, 0.0);  // carve a zero-weight notch
+  EXPECT_DOUBLE_EQ(p.weight_at(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(p.weight_at(1.2), 0.0);
+  EXPECT_DOUBLE_EQ(p.weight_at(1.8), 3.0);
+  EXPECT_NEAR(p.total(), kTwoPi - 2.0 + 1.5 * 3.0, 1e-9);
+}
+
+TEST(AspectProfile, WrappingBand) {
+  AspectProfile p;
+  p.set_band(Arc::centered(0.0, 0.5), 2.0);  // [-0.5, 0.5] wraps
+  EXPECT_DOUBLE_EQ(p.weight_at(0.2), 2.0);
+  EXPECT_DOUBLE_EQ(p.weight_at(kTwoPi - 0.2), 2.0);
+  EXPECT_DOUBLE_EQ(p.weight_at(1.0), 1.0);
+  EXPECT_NEAR(p.total(), kTwoPi - 1.0 + 2.0, 1e-9);
+}
+
+TEST(AspectProfile, IntegrateExcluding) {
+  AspectProfile p;
+  p.set_band(Arc{1.0, 1.0}, 4.0);  // [1, 2] -> 4
+  ArcSet excl;
+  excl.add(Arc{1.5, 1.0});  // [1.5, 2.5] excluded
+  // Integral over [0, 3]: [0,1]*1 + [1,1.5]*4 + excluded[1.5,2.5] + [2.5,3]*1.
+  EXPECT_NEAR(p.integrate_excluding(0.0, 3.0, excl), 1.0 + 2.0 + 0.5, 1e-9);
+}
+
+TEST(AspectProfile, IntegrateSet) {
+  AspectProfile p;
+  p.set_band(Arc{0.0, 1.0}, 5.0);
+  ArcSet set;
+  set.add(Arc{0.5, 1.0});  // [0.5, 1.5]
+  // [0.5,1]*5 + [1,1.5]*1.
+  EXPECT_NEAR(p.integrate_set(set), 2.5 + 0.5, 1e-9);
+}
+
+TEST(AspectProfile, ProfileGainMatchesUnweightedWhenUniform) {
+  const AspectProfile uniform;
+  ArcSet existing;
+  existing.add(Arc{0.0, 1.0});
+  const Arc probe{0.5, 1.0};
+  EXPECT_NEAR(profile_gain(&uniform, probe, existing), existing.gain(probe), 1e-12);
+  EXPECT_NEAR(profile_gain(nullptr, probe, existing), existing.gain(probe), 1e-12);
+}
+
+TEST(AspectProfile, ProfileGainWeighted) {
+  AspectProfile p;
+  p.set_band(Arc{0.0, 1.0}, 10.0);
+  ArcSet existing;  // empty
+  // Arc [0.5, 1.5]: [0.5,1] at weight 10 + [1,1.5] at weight 1.
+  EXPECT_NEAR(profile_gain(&p, Arc{0.5, 1.0}, existing), 5.0 + 0.5, 1e-9);
+}
+
+TEST(AspectProfile, RejectsNegativeWeight) {
+  AspectProfile p;
+  EXPECT_THROW(p.set_band(Arc{0.0, 1.0}, -1.0), std::logic_error);
+}
+
+TEST(AspectProfileCoverage, EntranceWeightingChangesPhotoValue) {
+  // A PoI whose "entrance" faces east (aspect 0) with weight 5: an east-side
+  // photo is worth far more aspect coverage than a west-side one.
+  auto profile = std::make_shared<AspectProfile>();
+  profile->set_band(Arc::centered(0.0, deg_to_rad(45.0)), 5.0);
+  PointOfInterest poi{0, {0.0, 0.0}, 1.0, profile};
+  const CoverageModel model({poi}, deg_to_rad(30.0));
+  CoverageMap map(model);
+  const auto east = model.footprint(photo_viewing(poi, 0.0));    // arc [-30, 30]
+  const auto west = model.footprint(photo_viewing(poi, 180.0));  // arc [150, 210]
+  const CoverageValue g_east = map.gain(east);
+  const CoverageValue g_west = map.gain(west);
+  EXPECT_NEAR(g_east.aspect, 5.0 * deg_to_rad(60.0), 1e-9);
+  EXPECT_NEAR(g_west.aspect, deg_to_rad(60.0), 1e-9);
+  EXPECT_GT(g_east.aspect, g_west.aspect);
+}
+
+TEST(AspectProfileCoverage, FullViewFraction) {
+  const CoverageModel model = test::single_poi_model(30.0);
+  CoverageMap map(model);
+  // Six 60-degree views tile the circle.
+  for (int d = 0; d < 360; d += 60)
+    map.add(model.footprint(photo_viewing(model.pois()[0], d)));
+  EXPECT_TRUE(map.poi_full_view(0));
+  EXPECT_DOUBLE_EQ(map.full_view_fraction(), 1.0);
+}
+
+TEST(AspectProfileCoverage, PartialViewIsNotFullView) {
+  const CoverageModel model = test::single_poi_model(30.0);
+  CoverageMap map(model);
+  map.add(model.footprint(photo_viewing(model.pois()[0], 0.0)));
+  map.add(model.footprint(photo_viewing(model.pois()[0], 180.0)));
+  EXPECT_FALSE(map.poi_full_view(0));
+  EXPECT_DOUBLE_EQ(map.full_view_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace photodtn

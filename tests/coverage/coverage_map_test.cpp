@@ -1,0 +1,121 @@
+#include "coverage/coverage_map.h"
+
+#include <gtest/gtest.h>
+
+#include "geometry/angle.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace photodtn {
+namespace {
+
+using test::make_poi;
+using test::photo_viewing;
+
+TEST(CoverageMap, EmptyMapHasZeroCoverage) {
+  const CoverageModel model = test::single_poi_model();
+  const CoverageMap map(model);
+  EXPECT_TRUE(map.total().is_zero());
+  EXPECT_EQ(map.normalized_point(), 0.0);
+  EXPECT_FALSE(map.poi_covered(0));
+}
+
+TEST(CoverageMap, SinglePhotoGivesPointAndAspect) {
+  const CoverageModel model = test::single_poi_model(30.0);
+  CoverageMap map(model);
+  const auto fp = model.footprint(photo_viewing(model.pois()[0], 0.0));
+  const CoverageValue g = map.add(fp);
+  EXPECT_DOUBLE_EQ(g.point, 1.0);
+  EXPECT_NEAR(g.aspect, deg_to_rad(60.0), 1e-9);
+  EXPECT_TRUE(map.poi_covered(0));
+  EXPECT_NEAR(map.poi_aspect(0), deg_to_rad(60.0), 1e-9);
+  EXPECT_DOUBLE_EQ(map.normalized_point(), 1.0);
+}
+
+TEST(CoverageMap, DuplicatePhotoAddsNothing) {
+  const CoverageModel model = test::single_poi_model(30.0);
+  CoverageMap map(model);
+  const auto fp = model.footprint(photo_viewing(model.pois()[0], 0.0));
+  map.add(fp);
+  const CoverageValue g = map.add(fp);
+  EXPECT_TRUE(g.is_zero());
+}
+
+TEST(CoverageMap, OppositeViewsSumAspect) {
+  const CoverageModel model = test::single_poi_model(30.0);
+  CoverageMap map(model);
+  map.add(model.footprint(photo_viewing(model.pois()[0], 0.0)));
+  const CoverageValue g2 = map.add(model.footprint(photo_viewing(model.pois()[0], 180.0)));
+  EXPECT_DOUBLE_EQ(g2.point, 0.0);  // already point-covered
+  EXPECT_NEAR(g2.aspect, deg_to_rad(60.0), 1e-9);
+  EXPECT_NEAR(map.total().aspect, deg_to_rad(120.0), 1e-9);
+}
+
+TEST(CoverageMap, PartiallyOverlappingViews) {
+  const CoverageModel model = test::single_poi_model(30.0);
+  CoverageMap map(model);
+  map.add(model.footprint(photo_viewing(model.pois()[0], 0.0)));   // [-30, 30]
+  map.add(model.footprint(photo_viewing(model.pois()[0], 40.0)));  // [10, 70]
+  EXPECT_NEAR(map.total().aspect, deg_to_rad(100.0), 1e-9);        // union [-30, 70]
+}
+
+TEST(CoverageMap, GainPredictsAddExactly) {
+  const PoiList pois{make_poi(0.0, 0.0, 0), make_poi(300.0, 0.0, 1),
+                     make_poi(-200.0, 100.0, 2)};
+  const CoverageModel model(pois, deg_to_rad(25.0));
+  CoverageMap map(model);
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    const auto& poi = pois[static_cast<std::size_t>(rng.uniform_int(0, 2))];
+    const auto fp =
+        model.footprint(photo_viewing(poi, rng.uniform(0.0, 360.0), 120.0));
+    const CoverageValue predicted = map.gain(fp);
+    const CoverageValue actual = map.add(fp);
+    EXPECT_NEAR(predicted.point, actual.point, 1e-9);
+    EXPECT_NEAR(predicted.aspect, actual.aspect, 1e-9);
+  }
+}
+
+TEST(CoverageMap, WeightsScaleBothComponents) {
+  const CoverageModel model = test::single_poi_model(30.0, /*weight=*/2.5);
+  CoverageMap map(model);
+  const CoverageValue g = map.add(model.footprint(photo_viewing(model.pois()[0], 0.0)));
+  EXPECT_DOUBLE_EQ(g.point, 2.5);
+  EXPECT_NEAR(g.aspect, 2.5 * deg_to_rad(60.0), 1e-9);
+  // Normalization divides the weight out again.
+  EXPECT_DOUBLE_EQ(map.normalized_point(), 1.0);
+  EXPECT_NEAR(map.normalized_aspect(), deg_to_rad(60.0), 1e-9);
+}
+
+TEST(CoverageMap, NormalizedPointIsFractionOfPois) {
+  const PoiList pois{make_poi(0.0, 0.0, 0), make_poi(5000.0, 5000.0, 1)};
+  const CoverageModel model(pois, deg_to_rad(30.0));
+  CoverageMap map(model);
+  map.add(model.footprint(photo_viewing(pois[0], 0.0)));
+  EXPECT_DOUBLE_EQ(map.normalized_point(), 0.5);
+}
+
+TEST(CoverageMap, ClearResets) {
+  const CoverageModel model = test::single_poi_model();
+  CoverageMap map(model);
+  map.add(model.footprint(photo_viewing(model.pois()[0], 0.0)));
+  map.clear();
+  EXPECT_TRUE(map.total().is_zero());
+  EXPECT_FALSE(map.poi_covered(0));
+  EXPECT_EQ(map.poi_aspect(0), 0.0);
+}
+
+TEST(CoverageMap, CoverageOfMatchesIncremental) {
+  const CoverageModel model = test::single_poi_model(30.0);
+  std::vector<PhotoFootprint> fps;
+  for (const double dir : {0.0, 90.0, 180.0, 200.0})
+    fps.push_back(model.footprint(photo_viewing(model.pois()[0], dir)));
+  CoverageMap map(model);
+  for (const auto& fp : fps) map.add(fp);
+  const CoverageValue direct = coverage_of(model, fps);
+  EXPECT_NEAR(direct.point, map.total().point, 1e-12);
+  EXPECT_NEAR(direct.aspect, map.total().aspect, 1e-12);
+}
+
+}  // namespace
+}  // namespace photodtn

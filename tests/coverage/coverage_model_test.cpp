@@ -1,0 +1,103 @@
+#include "coverage/coverage_model.h"
+
+#include <gtest/gtest.h>
+
+#include "geometry/angle.h"
+#include "test_util.h"
+
+namespace photodtn {
+namespace {
+
+using test::make_photo;
+using test::make_poi;
+using test::photo_viewing;
+
+TEST(CoverageModel, FootprintEmptyWhenNoPoiInSector) {
+  const CoverageModel model({make_poi(1000.0, 1000.0)}, deg_to_rad(30.0));
+  const PhotoMeta p = make_photo(0.0, 0.0, 0.0, 100.0);
+  EXPECT_FALSE(model.footprint(p).relevant());
+}
+
+TEST(CoverageModel, FootprintCoversPoiInSector) {
+  const CoverageModel model({make_poi(50.0, 0.0)}, deg_to_rad(30.0));
+  const PhotoMeta p = make_photo(0.0, 0.0, 0.0, 100.0, 60.0);  // looking east
+  const PhotoFootprint fp = model.footprint(p);
+  ASSERT_TRUE(fp.relevant());
+  ASSERT_EQ(fp.arcs.size(), 1u);
+  EXPECT_EQ(fp.arcs[0].poi_index, 0u);
+}
+
+TEST(CoverageModel, ArcCenteredOnPoiToCameraDirection) {
+  // Camera is 100 m EAST of the PoI looking west at it; the viewing vector
+  // x->l points east (heading 0), so the covered aspect arc is centered at 0
+  // with half-width theta.
+  const PointOfInterest poi = make_poi(0.0, 0.0);
+  const CoverageModel model({poi}, deg_to_rad(30.0));
+  const PhotoMeta p = photo_viewing(poi, /*from_direction_deg=*/0.0);
+  const PhotoFootprint fp = model.footprint(p);
+  ASSERT_EQ(fp.arcs.size(), 1u);
+  const Arc arc = fp.arcs[0].arc;
+  EXPECT_NEAR(arc.length, deg_to_rad(60.0), 1e-9);  // 2 * theta
+  // Arc spans [-30, +30] degrees around heading 0.
+  const double start = normalize_angle(arc.start);
+  EXPECT_NEAR(start, kTwoPi - deg_to_rad(30.0), 1e-9);
+}
+
+TEST(CoverageModel, MultiplePoisInOneSector) {
+  const CoverageModel model({make_poi(60.0, 5.0, 0), make_poi(80.0, -5.0, 1),
+                             make_poi(5000.0, 0.0, 2)},
+                            deg_to_rad(30.0));
+  const PhotoMeta p = make_photo(0.0, 0.0, 0.0, 150.0, 60.0);
+  const PhotoFootprint fp = model.footprint(p);
+  ASSERT_EQ(fp.arcs.size(), 2u);
+  EXPECT_EQ(fp.arcs[0].poi_index, 0u);
+  EXPECT_EQ(fp.arcs[1].poi_index, 1u);
+}
+
+TEST(CoverageModel, CoversAgreesWithFootprint) {
+  const PointOfInterest poi = make_poi(70.0, 10.0);
+  const CoverageModel model({poi}, deg_to_rad(30.0));
+  const PhotoMeta in = make_photo(0.0, 0.0, 10.0, 150.0, 60.0);
+  const PhotoMeta out = make_photo(0.0, 0.0, 180.0, 150.0, 60.0);
+  EXPECT_TRUE(model.covers(in, poi));
+  EXPECT_TRUE(model.footprint(in).relevant());
+  EXPECT_FALSE(model.covers(out, poi));
+  EXPECT_FALSE(model.footprint(out).relevant());
+}
+
+TEST(CoverageModel, CachedFootprintIsStableAndIdentical) {
+  const CoverageModel model({make_poi(50.0, 0.0)}, deg_to_rad(30.0));
+  const PhotoMeta p = make_photo(0.0, 0.0, 0.0, 100.0, 60.0, /*id=*/77);
+  const PhotoFootprint& a = model.footprint_cached(p);
+  const PhotoFootprint direct = model.footprint(p);
+  EXPECT_EQ(a.arcs.size(), direct.arcs.size());
+  // Pointer stability across further insertions (unordered_map guarantees).
+  const PhotoFootprint* addr = &a;
+  for (PhotoId id = 100; id < 300; ++id) {
+    PhotoMeta q = p;
+    q.id = id;
+    model.footprint_cached(q);
+  }
+  EXPECT_EQ(addr, &model.footprint_cached(p));
+}
+
+TEST(CoverageModel, EffectiveAngleValidation) {
+  EXPECT_THROW(CoverageModel({make_poi(0, 0)}, 0.0), std::logic_error);
+  EXPECT_THROW(CoverageModel({make_poi(0, 0)}, kTwoPi + 1.0), std::logic_error);
+}
+
+class ThetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThetaSweep, ArcWidthIsTwiceTheta) {
+  const double theta_deg = GetParam();
+  const PointOfInterest poi = make_poi(0.0, 0.0);
+  const CoverageModel model({poi}, deg_to_rad(theta_deg));
+  const PhotoFootprint fp = model.footprint(photo_viewing(poi, 45.0));
+  ASSERT_EQ(fp.arcs.size(), 1u);
+  EXPECT_NEAR(fp.arcs[0].arc.length, 2.0 * deg_to_rad(theta_deg), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ThetaSweep, ::testing::Values(10.0, 20.0, 30.0, 40.0, 60.0, 90.0));
+
+}  // namespace
+}  // namespace photodtn

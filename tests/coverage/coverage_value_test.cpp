@@ -1,0 +1,64 @@
+#include "coverage/coverage_value.h"
+
+#include <gtest/gtest.h>
+
+namespace photodtn {
+namespace {
+
+TEST(CoverageValue, LexicographicPointDominates) {
+  // Definition 1: any point-coverage advantage beats any aspect advantage.
+  const CoverageValue more_points{2.0, 0.0};
+  const CoverageValue more_aspect{1.0, 100.0};
+  EXPECT_GT(more_points, more_aspect);
+  EXPECT_LT(more_aspect, more_points);
+}
+
+TEST(CoverageValue, AspectBreaksTies) {
+  const CoverageValue a{2.0, 3.0};
+  const CoverageValue b{2.0, 4.0};
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+}
+
+TEST(CoverageValue, EqualityAndArithmetic) {
+  const CoverageValue a{1.0, 2.0};
+  const CoverageValue b{0.5, 1.5};
+  EXPECT_EQ(a + b, (CoverageValue{1.5, 3.5}));
+  EXPECT_EQ(a - b, (CoverageValue{0.5, 0.5}));
+  EXPECT_EQ(a * 2.0, (CoverageValue{2.0, 4.0}));
+  CoverageValue c = a;
+  c += b;
+  EXPECT_EQ(c, a + b);
+}
+
+TEST(CoverageValue, IsZero) {
+  EXPECT_TRUE((CoverageValue{}.is_zero()));
+  EXPECT_FALSE((CoverageValue{0.0, 0.1}.is_zero()));
+  EXPECT_FALSE((CoverageValue{0.1, 0.0}.is_zero()));
+}
+
+TEST(CoverageValue, ExceedsUsesSlack) {
+  const CoverageValue a{1.0, 1.0};
+  EXPECT_FALSE(a.exceeds({1.0, 1.0}));
+  EXPECT_FALSE((CoverageValue{1.0, 1.0 + 1e-12}).exceeds(a));  // below slack
+  EXPECT_TRUE((CoverageValue{1.0, 1.1}).exceeds(a));
+  EXPECT_TRUE((CoverageValue{1.1, 0.0}).exceeds(a));   // point dominates
+  EXPECT_FALSE((CoverageValue{0.9, 99.0}).exceeds(a));  // point dominates
+}
+
+TEST(CoverageValue, OrderingIsTotalOnSamples) {
+  const CoverageValue vals[] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0}};
+  for (std::size_t i = 0; i < std::size(vals); ++i)
+    for (std::size_t j = 0; j < std::size(vals); ++j) {
+      if (i < j) {
+        EXPECT_LT(vals[i], vals[j]);
+      } else if (i == j) {
+        EXPECT_EQ(vals[i], vals[j]);
+      } else {
+        EXPECT_GT(vals[i], vals[j]);
+      }
+    }
+}
+
+}  // namespace
+}  // namespace photodtn

@@ -1,0 +1,47 @@
+#include "coverage/photo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/angle.h"
+#include "test_util.h"
+
+namespace photodtn {
+namespace {
+
+TEST(Photo, SectorReflectsMetadata) {
+  const PhotoMeta p = test::make_photo(10.0, 20.0, 90.0, 150.0, 45.0);
+  const Sector s = p.sector();
+  EXPECT_EQ(s.apex(), Vec2(10.0, 20.0));
+  EXPECT_DOUBLE_EQ(s.range(), 150.0);
+  EXPECT_NEAR(s.fov(), deg_to_rad(45.0), 1e-12);
+  EXPECT_NEAR(s.orientation(), deg_to_rad(90.0), 1e-12);
+}
+
+TEST(Photo, CoverageRangeFromFovMatchesCotFormula) {
+  // r = c * cot(fov/2). For fov = 60 deg, cot(30 deg) = sqrt(3).
+  EXPECT_NEAR(coverage_range_from_fov(deg_to_rad(60.0), 50.0), 50.0 * std::sqrt(3.0),
+              1e-9);
+  // Narrower fov -> longer range (zoom lens sees farther).
+  EXPECT_GT(coverage_range_from_fov(deg_to_rad(30.0), 50.0),
+            coverage_range_from_fov(deg_to_rad(60.0), 50.0));
+}
+
+TEST(Photo, TableIRangeBand) {
+  // Table I: r in [50, 100] * cot(fov/2); for fov in [30, 60] degrees this
+  // spans roughly [87 m, 373 m].
+  const double r_min = coverage_range_from_fov(deg_to_rad(60.0), 50.0);
+  const double r_max = coverage_range_from_fov(deg_to_rad(30.0), 100.0);
+  EXPECT_NEAR(r_min, 86.6, 0.1);
+  EXPECT_NEAR(r_max, 373.2, 0.1);
+}
+
+TEST(Photo, CommandCenterIdIsZero) {
+  EXPECT_EQ(kCommandCenter, 0);
+  const PhotoMeta p = test::make_photo(0, 0, 0);
+  EXPECT_NE(p.taken_by, kCommandCenter);
+}
+
+}  // namespace
+}  // namespace photodtn

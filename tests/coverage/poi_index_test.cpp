@@ -1,0 +1,87 @@
+#include "coverage/poi_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "coverage/coverage_model.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "workload/photo_gen.h"
+#include "workload/poi_gen.h"
+
+namespace photodtn {
+namespace {
+
+TEST(PoiIndex, EmptyListYieldsNothing) {
+  const PoiIndex idx(PoiList{});
+  std::vector<std::size_t> out{42};
+  idx.query({0.0, 0.0}, 100.0, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(PoiIndex, FindsPointsInsideRadius) {
+  PoiList pois{test::make_poi(0.0, 0.0, 0), test::make_poi(100.0, 0.0, 1),
+               test::make_poi(0.0, 300.0, 2)};
+  const PoiIndex idx(pois, 50.0);
+  std::vector<std::size_t> out;
+  idx.query({10.0, 0.0}, 150.0, out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(PoiIndex, NeverMissesAgainstBruteForce) {
+  Rng rng(77);
+  const PoiList pois = generate_uniform_pois(400, 6300.0, rng);
+  const PoiIndex idx(pois, 250.0);
+  std::vector<std::size_t> out;
+  for (int trial = 0; trial < 300; ++trial) {
+    const Vec2 c{rng.uniform(-200.0, 6500.0), rng.uniform(-200.0, 6500.0)};
+    const double r = rng.uniform(10.0, 600.0);
+    idx.query(c, r, out);
+    const std::set<std::size_t> got(out.begin(), out.end());
+    for (std::size_t i = 0; i < pois.size(); ++i) {
+      const bool inside = pois[i].location.distance_to(c) <= r;
+      if (inside) {
+        EXPECT_TRUE(got.contains(i)) << "missed poi " << i;
+      }
+      if (got.contains(i)) {
+        EXPECT_LE(pois[i].location.distance_to(c), r + 1e-9) << "false hit " << i;
+      }
+    }
+  }
+}
+
+TEST(PoiIndex, ModelFootprintsIdenticalToBruteForceScan) {
+  // The indexed footprint path must produce byte-identical footprints to a
+  // full scan (same PoIs, same order, same arcs).
+  Rng rng(88);
+  const PoiList pois = generate_uniform_pois(300, 6300.0, rng);
+  const CoverageModel model(pois, deg_to_rad(30.0));
+  ScenarioConfig cfg = ScenarioConfig::mit(1);
+  PhotoGenerator gen(cfg, pois);
+  Rng prng(89);
+  for (int i = 0; i < 300; ++i) {
+    const PhotoMeta photo = gen.generate_one(0.0, 1, prng).photo;
+    const PhotoFootprint fp = model.footprint(photo);
+    // Brute force reference.
+    std::vector<PoiArc> expected;
+    const Sector sector = photo.sector();
+    for (std::size_t p = 0; p < pois.size(); ++p) {
+      if (!sector.contains(pois[p].location)) continue;
+      expected.push_back(
+          PoiArc{p, Arc::centered((photo.location - pois[p].location).heading(),
+                                  deg_to_rad(30.0))});
+    }
+    ASSERT_EQ(fp.arcs.size(), expected.size()) << "photo " << i;
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      EXPECT_EQ(fp.arcs[k].poi_index, expected[k].poi_index);
+      EXPECT_DOUBLE_EQ(fp.arcs[k].arc.start, expected[k].arc.start);
+      EXPECT_DOUBLE_EQ(fp.arcs[k].arc.length, expected[k].arc.length);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace photodtn

@@ -1,0 +1,62 @@
+// The Section II-C binary quality gate: "use a binary threshold to filter
+// out unqualified photos before using our model."
+#include <gtest/gtest.h>
+
+#include "coverage/coverage_map.h"
+#include "coverage/coverage_model.h"
+#include "test_util.h"
+
+namespace photodtn {
+namespace {
+
+using test::photo_viewing;
+
+TEST(QualityGate, DefaultAdmitsEverything) {
+  const CoverageModel model = test::single_poi_model(30.0);
+  PhotoMeta p = photo_viewing(model.pois()[0], 0.0);
+  p.quality = 0.0;
+  EXPECT_TRUE(model.footprint(p).relevant());
+}
+
+TEST(QualityGate, BelowThresholdPhotosHaveEmptyFootprints) {
+  CoverageModel model = test::single_poi_model(30.0);
+  model.set_quality_threshold(0.5);
+  PhotoMeta good = photo_viewing(model.pois()[0], 0.0);
+  good.quality = 0.7;
+  PhotoMeta blurred = photo_viewing(model.pois()[0], 90.0);
+  blurred.quality = 0.3;
+  EXPECT_TRUE(model.footprint(good).relevant());
+  EXPECT_FALSE(model.footprint(blurred).relevant());
+  EXPECT_TRUE(model.covers(good, model.pois()[0]));
+  EXPECT_FALSE(model.covers(blurred, model.pois()[0]));
+}
+
+TEST(QualityGate, ExactThresholdAdmits) {
+  CoverageModel model = test::single_poi_model(30.0);
+  model.set_quality_threshold(0.5);
+  PhotoMeta p = photo_viewing(model.pois()[0], 0.0);
+  p.quality = 0.5;
+  EXPECT_TRUE(model.footprint(p).relevant());
+}
+
+TEST(QualityGate, DisqualifiedPhotosEarnNoCoverage) {
+  CoverageModel model = test::single_poi_model(30.0);
+  model.set_quality_threshold(0.5);
+  CoverageMap map(model);
+  PhotoMeta blurred = photo_viewing(model.pois()[0], 0.0);
+  blurred.quality = 0.1;
+  EXPECT_TRUE(map.add(model.footprint(blurred)).is_zero());
+  EXPECT_FALSE(map.poi_covered(0));
+}
+
+TEST(QualityGate, ValidatesConfiguration) {
+  CoverageModel model = test::single_poi_model(30.0);
+  EXPECT_THROW(model.set_quality_threshold(-0.1), std::logic_error);
+  EXPECT_THROW(model.set_quality_threshold(1.5), std::logic_error);
+  // Must be set before the footprint cache is populated.
+  model.footprint_cached(photo_viewing(model.pois()[0], 0.0));
+  EXPECT_THROW(model.set_quality_threshold(0.5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace photodtn

@@ -1,0 +1,86 @@
+// The SimEvent stream: ordering, completeness, and agreement with the
+// counters.
+#include <gtest/gtest.h>
+
+#include "dtn/simulator.h"
+#include "schemes/factory.h"
+#include "test_util.h"
+
+namespace photodtn {
+namespace {
+
+using test::make_poi;
+using test::photo_viewing;
+
+TEST(EventListener, StreamsAllEventTypesInOrder) {
+  test::reset_photo_ids();
+  const CoverageModel model({make_poi(0.0, 0.0)}, deg_to_rad(30.0));
+  const PhotoMeta photo = [&] {
+    PhotoMeta p = photo_viewing(model.pois()[0], 0.0);
+    p.taken_by = 1;
+    p.taken_at = 10.0;
+    return p;
+  }();
+  const ContactTrace trace{{{100.0, 600.0, 1, 2}, {200.0, 600.0, 0, 2}}, 3, 1000.0};
+  SimConfig cfg;
+  cfg.node_storage_bytes = 5ULL * 4'000'000;
+  cfg.bandwidth_bytes_per_s = 2.0e6;
+  cfg.sample_interval_s = 1e9;
+  Simulator sim(model, trace, {PhotoEvent{10.0, 1, photo}}, cfg);
+  std::vector<SimEvent> events;
+  sim.set_event_listener([&](const SimEvent& e) { events.push_back(e); });
+
+  auto scheme = make_scheme("OurScheme");
+  const SimResult r = sim.run(*scheme);
+
+  // Time-ordered stream.
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LE(events[i - 1].time, events[i].time);
+
+  auto count = [&](SimEvent::Type t) {
+    std::size_t n = 0;
+    for (const auto& e : events)
+      if (e.type == t) ++n;
+    return n;
+  };
+  EXPECT_EQ(count(SimEvent::Type::kPhotoTaken), r.counters.photos_taken);
+  EXPECT_EQ(count(SimEvent::Type::kContact), r.counters.contacts);
+  EXPECT_EQ(count(SimEvent::Type::kTransfer), r.counters.transfers);
+  EXPECT_EQ(count(SimEvent::Type::kDrop), r.counters.drops);
+  EXPECT_EQ(count(SimEvent::Type::kDelivery), r.delivered_photos);
+
+  // The delivery event names the photo and the gateway that carried it.
+  bool saw_delivery = false;
+  for (const auto& e : events) {
+    if (e.type != SimEvent::Type::kDelivery) continue;
+    saw_delivery = true;
+    EXPECT_EQ(e.photo, photo.id);
+    EXPECT_EQ(e.a, 2);  // relayed through node 2
+    EXPECT_EQ(e.b, kCommandCenter);
+    EXPECT_DOUBLE_EQ(e.time, 200.0);
+  }
+  EXPECT_TRUE(saw_delivery);
+}
+
+TEST(EventListener, DisabledListenerCostsNothingAndRunsIdentically) {
+  const CoverageModel model({make_poi(0.0, 0.0)}, deg_to_rad(30.0));
+  const ContactTrace trace{{{100.0, 600.0, 1, 2}}, 3, 500.0};
+  auto run_with = [&](bool with_listener) {
+    test::reset_photo_ids();
+    PhotoMeta p = photo_viewing(model.pois()[0], 0.0);
+    p.taken_by = 1;
+    SimConfig cfg;
+    cfg.sample_interval_s = 1e9;
+    Simulator sim(model, trace, {PhotoEvent{1.0, 1, p}}, cfg);
+    if (with_listener) sim.set_event_listener([](const SimEvent&) {});
+    auto scheme = make_scheme("OurScheme");
+    return sim.run(*scheme);
+  };
+  const SimResult a = run_with(false);
+  const SimResult b = run_with(true);
+  EXPECT_EQ(a.delivered_ids, b.delivered_ids);
+  EXPECT_EQ(a.counters.transfers, b.counters.transfers);
+}
+
+}  // namespace
+}  // namespace photodtn

@@ -1,0 +1,80 @@
+#include "dtn/photo_store.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace photodtn {
+namespace {
+
+PhotoMeta photo(PhotoId id, std::uint64_t size = 100) {
+  return test::make_photo(0, 0, 0, 200, 60, id, 1, size);
+}
+
+TEST(PhotoStore, AddAndFind) {
+  PhotoStore s(1000);
+  EXPECT_TRUE(s.add(photo(1)));
+  EXPECT_TRUE(s.contains(1));
+  ASSERT_NE(s.find(1), nullptr);
+  EXPECT_EQ(s.find(1)->id, 1u);
+  EXPECT_EQ(s.find(2), nullptr);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.used_bytes(), 100u);
+}
+
+TEST(PhotoStore, RejectsDuplicates) {
+  PhotoStore s(1000);
+  EXPECT_TRUE(s.add(photo(1)));
+  EXPECT_FALSE(s.add(photo(1)));
+  EXPECT_EQ(s.used_bytes(), 100u);
+}
+
+TEST(PhotoStore, EnforcesCapacityExactly) {
+  PhotoStore s(250);
+  EXPECT_TRUE(s.add(photo(1, 100)));
+  EXPECT_TRUE(s.add(photo(2, 150)));  // exactly full
+  EXPECT_FALSE(s.can_fit(1));
+  EXPECT_FALSE(s.add(photo(3, 1)));
+  EXPECT_EQ(s.free_bytes(), 0u);
+}
+
+TEST(PhotoStore, RemoveFreesSpace) {
+  PhotoStore s(200);
+  s.add(photo(1, 150));
+  EXPECT_FALSE(s.add(photo(2, 100)));
+  EXPECT_TRUE(s.remove(1));
+  EXPECT_FALSE(s.remove(1));
+  EXPECT_TRUE(s.add(photo(2, 100)));
+  EXPECT_EQ(s.used_bytes(), 100u);
+}
+
+TEST(PhotoStore, UnlimitedCapacity) {
+  PhotoStore s;  // default unlimited
+  for (PhotoId i = 1; i <= 100; ++i)
+    EXPECT_TRUE(s.add(photo(i, 1'000'000'000)));
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_EQ(s.free_bytes(), PhotoStore::kUnlimited);
+}
+
+TEST(PhotoStore, SnapshotAndClear) {
+  PhotoStore s(1000);
+  s.add(photo(1));
+  s.add(photo(2));
+  EXPECT_EQ(s.photos().size(), 2u);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.used_bytes(), 0u);
+}
+
+TEST(PhotoStore, UsedBytesTracksMixedOperations) {
+  PhotoStore s(1000);
+  s.add(photo(1, 300));
+  s.add(photo(2, 200));
+  s.remove(1);
+  s.add(photo(3, 100));
+  EXPECT_EQ(s.used_bytes(), 300u);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+}  // namespace
+}  // namespace photodtn

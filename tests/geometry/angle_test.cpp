@@ -1,0 +1,66 @@
+#include "geometry/angle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace photodtn {
+namespace {
+
+TEST(Angle, NormalizeIdentityInRange) {
+  EXPECT_DOUBLE_EQ(normalize_angle(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(normalize_angle(1.5), 1.5);
+}
+
+TEST(Angle, NormalizeWrapsPositive) {
+  EXPECT_NEAR(normalize_angle(kTwoPi + 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(normalize_angle(5.0 * kTwoPi + 1.0), 1.0, 1e-12);
+}
+
+TEST(Angle, NormalizeWrapsNegative) {
+  EXPECT_NEAR(normalize_angle(-0.5), kTwoPi - 0.5, 1e-12);
+  EXPECT_NEAR(normalize_angle(-kTwoPi - 0.25), kTwoPi - 0.25, 1e-12);
+}
+
+TEST(Angle, NormalizeNeverReturnsTwoPi) {
+  // Values just below a multiple of 2*pi can round up; result must stay
+  // in [0, 2*pi).
+  for (const double v : {kTwoPi, -kTwoPi, 2 * kTwoPi, std::nextafter(kTwoPi, 0.0)}) {
+    const double n = normalize_angle(v);
+    EXPECT_GE(n, 0.0) << v;
+    EXPECT_LT(n, kTwoPi) << v;
+  }
+}
+
+TEST(Angle, DistanceSymmetricAndBounded) {
+  EXPECT_NEAR(angle_distance(0.1, 0.4), 0.3, 1e-12);
+  EXPECT_NEAR(angle_distance(0.4, 0.1), 0.3, 1e-12);
+  // Across the wrap point.
+  EXPECT_NEAR(angle_distance(0.1, kTwoPi - 0.1), 0.2, 1e-12);
+  // Antipodal: exactly pi.
+  EXPECT_NEAR(angle_distance(0.0, std::numbers::pi), std::numbers::pi, 1e-12);
+}
+
+TEST(Angle, DegRadRoundTrip) {
+  EXPECT_NEAR(rad_to_deg(deg_to_rad(37.5)), 37.5, 1e-12);
+  EXPECT_NEAR(deg_to_rad(180.0), std::numbers::pi, 1e-12);
+}
+
+class AngleDistanceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AngleDistanceSweep, InvariantUnderFullRotations) {
+  const double a = GetParam();
+  for (const double b : {0.0, 1.0, 3.0, 6.0}) {
+    const double base = angle_distance(a, b);
+    EXPECT_NEAR(angle_distance(a + kTwoPi, b), base, 1e-9);
+    EXPECT_NEAR(angle_distance(a, b - kTwoPi), base, 1e-9);
+    EXPECT_LE(base, std::numbers::pi + 1e-12);
+    EXPECT_GE(base, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, AngleDistanceSweep,
+                         ::testing::Values(0.0, 0.3, 1.57, 3.14, 4.0, 6.28, -2.5, 9.9));
+
+}  // namespace
+}  // namespace photodtn

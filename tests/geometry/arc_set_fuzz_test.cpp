@@ -1,0 +1,119 @@
+// Randomized differential test: ArcSet against a dumb-but-obviously-correct
+// bitmap model of the circle. Catches canonicalization, wrap, and merge
+// bugs that hand-picked cases miss.
+#include <gtest/gtest.h>
+
+#include <bitset>
+
+#include "geometry/angle.h"
+#include "geometry/arc_set.h"
+#include "util/rng.h"
+
+namespace photodtn {
+namespace {
+
+constexpr int kBins = 1 << 14;  // ~0.022 degrees per bin
+
+class BitmapCircle {
+ public:
+  void add(Arc arc) {
+    if (arc.length <= 0.0) return;
+    const double start = normalize_angle(arc.start);
+    const double len = std::min(arc.length, kTwoPi);
+    for (int i = 0; i < kBins; ++i) {
+      const double a = (i + 0.5) * kTwoPi / kBins;
+      // Is `a` within [start, start+len] on the circle?
+      double rel = a - start;
+      if (rel < 0.0) rel += kTwoPi;
+      if (rel <= len) bits_.set(static_cast<std::size_t>(i));
+    }
+  }
+
+  double measure() const {
+    return static_cast<double>(bits_.count()) * kTwoPi / kBins;
+  }
+
+  bool contains(double angle) const {
+    const double a = normalize_angle(angle);
+    const auto i = std::min<std::size_t>(
+        kBins - 1, static_cast<std::size_t>(a / kTwoPi * kBins));
+    return bits_.test(i);
+  }
+
+ private:
+  std::bitset<kBins> bits_;
+};
+
+TEST(ArcSetFuzz, MeasureMatchesBitmapModel) {
+  Rng rng(20260704);
+  const double tol = kTwoPi / kBins * 24;  // bin-resolution slack per arc
+  for (int trial = 0; trial < 60; ++trial) {
+    ArcSet set;
+    BitmapCircle ref;
+    const int n = static_cast<int>(rng.uniform_int(1, 12));
+    for (int i = 0; i < n; ++i) {
+      const Arc arc{rng.uniform(-kTwoPi, 2.0 * kTwoPi), rng.uniform(0.0, kTwoPi)};
+      set.add(arc);
+      ref.add(arc);
+    }
+    EXPECT_NEAR(set.measure(), ref.measure(), tol) << "trial " << trial;
+  }
+}
+
+TEST(ArcSetFuzz, ContainsMatchesBitmapModel) {
+  Rng rng(99887766);
+  for (int trial = 0; trial < 40; ++trial) {
+    ArcSet set;
+    BitmapCircle ref;
+    const int n = static_cast<int>(rng.uniform_int(1, 8));
+    for (int i = 0; i < n; ++i) {
+      const Arc arc{rng.uniform(0.0, kTwoPi), rng.uniform(0.05, 3.0)};
+      set.add(arc);
+      ref.add(arc);
+    }
+    int disagreements = 0;
+    for (int q = 0; q < 500; ++q) {
+      const double a = rng.uniform(0.0, kTwoPi);
+      if (set.contains(a) != ref.contains(a)) ++disagreements;
+    }
+    // Disagreement is only tolerable within bin resolution of a boundary;
+    // random probes land there with negligible probability.
+    EXPECT_LE(disagreements, 2) << "trial " << trial;
+  }
+}
+
+TEST(ArcSetFuzz, GainIsConsistentWithUnionMeasure) {
+  Rng rng(555);
+  for (int trial = 0; trial < 100; ++trial) {
+    ArcSet set;
+    const int n = static_cast<int>(rng.uniform_int(0, 10));
+    for (int i = 0; i < n; ++i)
+      set.add({rng.uniform(0.0, kTwoPi), rng.uniform(0.0, 2.5)});
+    const Arc probe{rng.uniform(-10.0, 10.0), rng.uniform(0.0, kTwoPi)};
+    ArcSet with = set;
+    with.add(probe);
+    EXPECT_NEAR(set.measure() + set.gain(probe), with.measure(), 1e-7)
+        << "trial " << trial;
+    // Gains are bounded by the probe length and never negative.
+    EXPECT_GE(set.gain(probe), 0.0);
+    EXPECT_LE(set.gain(probe), std::min(probe.length, kTwoPi) + 1e-9);
+  }
+}
+
+TEST(ArcSetFuzz, OverlapPlusGainEqualsLength) {
+  // For a non-wrapping probe: overlap_linear + gain == length.
+  Rng rng(31337);
+  for (int trial = 0; trial < 100; ++trial) {
+    ArcSet set;
+    const int n = static_cast<int>(rng.uniform_int(0, 8));
+    for (int i = 0; i < n; ++i)
+      set.add({rng.uniform(0.0, kTwoPi), rng.uniform(0.0, 2.0)});
+    const double lo = rng.uniform(0.0, kTwoPi - 0.5);
+    const double len = rng.uniform(0.0, kTwoPi - lo);
+    EXPECT_NEAR(set.overlap_linear(lo, lo + len) + set.gain({lo, len}), len, 1e-7)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace photodtn

@@ -1,0 +1,85 @@
+#include "geometry/sector.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "geometry/angle.h"
+
+namespace photodtn {
+namespace {
+
+TEST(Sector, ContainsPointStraightAhead) {
+  const Sector s({0.0, 0.0}, 100.0, deg_to_rad(60.0), 0.0);  // looking east
+  EXPECT_TRUE(s.contains({50.0, 0.0}));
+  EXPECT_TRUE(s.contains({99.0, 0.0}));
+  EXPECT_FALSE(s.contains({101.0, 0.0}));  // beyond range
+}
+
+TEST(Sector, RejectsPointsOutsideFov) {
+  const Sector s({0.0, 0.0}, 100.0, deg_to_rad(60.0), 0.0);
+  // 30 degrees half-angle: (50, 30) is at ~31 degrees.
+  EXPECT_FALSE(s.contains({50.0, 31.0}));
+  EXPECT_TRUE(s.contains({50.0, 27.0}));
+  EXPECT_FALSE(s.contains({-10.0, 0.0}));  // behind
+}
+
+TEST(Sector, ApexIsCovered) {
+  const Sector s({5.0, 5.0}, 10.0, deg_to_rad(30.0), 1.0);
+  EXPECT_TRUE(s.contains({5.0, 5.0}));
+}
+
+TEST(Sector, BoundaryInclusive) {
+  const Sector s({0.0, 0.0}, 100.0, deg_to_rad(90.0), 0.0);
+  // Exactly on the 45-degree edge.
+  EXPECT_TRUE(s.contains({50.0, 50.0}));
+  // Exactly at range along the axis.
+  EXPECT_TRUE(s.contains({100.0, 0.0}));
+}
+
+TEST(Sector, OrientationWrapsAcrossZero) {
+  // Looking east with fov straddling the 0/2*pi seam.
+  const Sector s({0.0, 0.0}, 100.0, deg_to_rad(40.0), deg_to_rad(350.0));
+  EXPECT_TRUE(s.contains({80.0, -20.0}));   // ~-14 degrees
+  EXPECT_TRUE(s.contains({80.0, 8.0}));     // ~+5.7 degrees, inside [330, 10]
+  EXPECT_FALSE(s.contains({80.0, 40.0}));   // ~27 degrees, outside
+}
+
+TEST(Sector, AreaFormula) {
+  const Sector s({0.0, 0.0}, 10.0, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(s.area(), 50.0);  // fov/2 * r^2
+}
+
+TEST(Sector, RejectsInvalidParameters) {
+  EXPECT_THROW(Sector({0, 0}, -1.0, 1.0, 0.0), std::logic_error);
+  EXPECT_THROW(Sector({0, 0}, 1.0, 0.0, 0.0), std::logic_error);
+  EXPECT_THROW(Sector({0, 0}, 1.0, kTwoPi + 0.1, 0.0), std::logic_error);
+}
+
+TEST(Sector, FullCircleFovSeesAllDirections) {
+  const Sector s({0.0, 0.0}, 50.0, kTwoPi, 0.0);
+  EXPECT_TRUE(s.contains({-30.0, 0.0}));
+  EXPECT_TRUE(s.contains({0.0, -30.0}));
+  EXPECT_TRUE(s.contains({20.0, 20.0}));
+  EXPECT_FALSE(s.contains({40.0, 40.0}));  // outside range
+}
+
+class SectorRotationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SectorRotationSweep, ContainmentRotatesWithOrientation) {
+  const double orient = deg_to_rad(GetParam());
+  const Sector s({0.0, 0.0}, 100.0, deg_to_rad(50.0), orient);
+  // A point 60 m along the optical axis is always inside.
+  const Vec2 on_axis = Vec2::from_heading(orient) * 60.0;
+  EXPECT_TRUE(s.contains(on_axis));
+  // A point 60 m along the opposite direction never is.
+  const Vec2 behind = Vec2::from_heading(orient + std::numbers::pi) * 60.0;
+  EXPECT_FALSE(s.contains(behind));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rotations, SectorRotationSweep,
+                         ::testing::Values(0.0, 45.0, 90.0, 135.0, 180.0, 225.0, 270.0,
+                                           315.0, 359.0));
+
+}  // namespace
+}  // namespace photodtn

@@ -1,0 +1,56 @@
+#include "geometry/vec2.h"
+
+#include <gtest/gtest.h>
+
+#include "geometry/angle.h"
+
+namespace photodtn {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(a / 2.0, Vec2(0.5, 1.0));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{1.0, 0.0}, b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), 1.0);  // b is CCW from a
+  EXPECT_DOUBLE_EQ(b.cross(a), -1.0);
+}
+
+TEST(Vec2, NormAndDistance) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(a.distance_to({0.0, 0.0}), 5.0);
+}
+
+TEST(Vec2, NormalizedZeroVectorIsSafe) {
+  const Vec2 z{0.0, 0.0};
+  const Vec2 n = z.normalized();
+  EXPECT_EQ(n, Vec2(1.0, 0.0));
+  EXPECT_DOUBLE_EQ(z.heading(), 0.0);
+}
+
+TEST(Vec2, HeadingConventions) {
+  EXPECT_NEAR(Vec2(1.0, 0.0).heading(), 0.0, 1e-12);
+  EXPECT_NEAR(Vec2(0.0, 1.0).heading(), std::numbers::pi / 2.0, 1e-12);
+  EXPECT_NEAR(Vec2(-1.0, 0.0).heading(), std::numbers::pi, 1e-12);
+  EXPECT_NEAR(Vec2(0.0, -1.0).heading(), 3.0 * std::numbers::pi / 2.0, 1e-12);
+}
+
+TEST(Vec2, FromHeadingRoundTrip) {
+  for (const double h : {0.0, 0.5, 1.5, 3.0, 5.5}) {
+    const Vec2 v = Vec2::from_heading(h);
+    EXPECT_NEAR(v.norm(), 1.0, 1e-12);
+    EXPECT_NEAR(v.heading(), h, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace photodtn

@@ -1,0 +1,115 @@
+// Regression net for the Section IV demo claim: under the prototype's
+// constraints (one target, <=3 photos per contact, <=5 stored, 4 mule
+// visits), our scheme must beat both demo baselines on target aspect
+// coverage while delivering no more photos.
+#include <gtest/gtest.h>
+
+#include "dtn/simulator.h"
+#include "geometry/angle.h"
+#include "schemes/factory.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace photodtn {
+namespace {
+
+struct DemoOutcome {
+  std::uint64_t delivered = 0;
+  double aspect_deg = 0.0;
+};
+
+DemoOutcome run_demo(const std::string& scheme_name, std::uint64_t seed) {
+  Rng rng(seed);
+  // Contacts: learning prefix + 48 demo contacts with 4 center visits.
+  std::vector<Contact> contacts;
+  const double history_h = 150.0;
+  for (int i = 0; i < 150; ++i) {
+    const double t = rng.uniform(0.0, history_h * 3600.0);
+    NodeId a = 0, b = 0;
+    if (i % 15 == 0) {
+      b = static_cast<NodeId>(rng.uniform_int(1, 2));
+    } else {
+      a = static_cast<NodeId>(rng.uniform_int(1, 8));
+      do {
+        b = static_cast<NodeId>(rng.uniform_int(1, 8));
+      } while (b == a);
+    }
+    contacts.push_back(Contact{t, 600.0, a, b});
+  }
+  int mule = 0;
+  for (int i = 0; i < 48; ++i) {
+    const double t = (history_h + 1.0 + i) * 3600.0;
+    NodeId a = 0, b = 0;
+    if (mule < 4 && i % 12 == 10) {
+      b = static_cast<NodeId>(rng.uniform_int(1, 2));
+      ++mule;
+    } else {
+      a = static_cast<NodeId>(rng.uniform_int(1, 8));
+      do {
+        b = static_cast<NodeId>(rng.uniform_int(1, 8));
+      } while (b == a);
+    }
+    contacts.push_back(Contact{t, 600.0, a, b});
+  }
+  const ContactTrace trace{std::move(contacts), 9, (history_h + 50.0) * 3600.0};
+
+  // 40 photos, 5 per participant, roughly half framing the target.
+  const Vec2 church{0.0, 0.0};
+  const CoverageModel model({PointOfInterest{0, church, 1.0, nullptr}}, deg_to_rad(40.0));
+  std::vector<PhotoEvent> events;
+  PhotoId id = 1;
+  const double t0 = history_h * 3600.0;
+  for (NodeId node = 1; node <= 8; ++node) {
+    for (int k = 0; k < 5; ++k) {
+      PhotoMeta p;
+      p.id = id++;
+      p.taken_by = node;
+      p.taken_at = t0;
+      p.size_bytes = 4'000'000;
+      p.fov = deg_to_rad(rng.uniform(40.0, 60.0));
+      p.range = 200.0;
+      if (rng.bernoulli(0.5)) {
+        const double dir = rng.uniform(0.0, kTwoPi);
+        p.location = church + Vec2::from_heading(dir) * rng.uniform(60.0, 150.0);
+        p.orientation = normalize_angle(dir + std::numbers::pi);
+      } else {
+        p.location = church + Vec2{rng.uniform(400.0, 900.0), rng.uniform(400.0, 900.0)};
+        p.orientation = rng.uniform(0.0, kTwoPi);
+      }
+      events.push_back(PhotoEvent{t0, node, p});
+    }
+  }
+
+  SimConfig cfg;
+  cfg.node_storage_bytes = 5ULL * 4'000'000;
+  cfg.bandwidth_bytes_per_s = 3.0 * 4'000'000.0 / 600.0;
+  cfg.sample_interval_s = 1e9;
+  Simulator sim(model, trace, std::move(events), cfg);
+  auto scheme = make_scheme(scheme_name);
+  const SimResult r = sim.run(*scheme);
+  return {r.delivered_photos, rad_to_deg(r.final_coverage.aspect)};
+}
+
+TEST(DemoOrdering, OurSchemeBeatsBaselinesOnTargetAspect) {
+  // Average three seeds to keep the assertion robust to layout luck.
+  double ours = 0.0, photonet = 0.0, spray = 0.0;
+  double ours_n = 0.0, spray_n = 0.0;
+  for (const std::uint64_t seed : {7ull, 8ull, 9ull}) {
+    const DemoOutcome o = run_demo("OurScheme", seed);
+    const DemoOutcome p = run_demo("PhotoNet", seed);
+    const DemoOutcome s = run_demo("Spray&Wait", seed);
+    ours += o.aspect_deg;
+    photonet += p.aspect_deg;
+    spray += s.aspect_deg;
+    ours_n += static_cast<double>(o.delivered);
+    spray_n += static_cast<double>(s.delivered);
+  }
+  // Paper: 346 deg vs 160/171 deg. Require a decisive margin, not equality.
+  EXPECT_GT(ours, 1.3 * photonet);
+  EXPECT_GT(ours, 1.2 * spray);
+  // And no more photos delivered than the content-blind baseline.
+  EXPECT_LE(ours_n, spray_n + 1e-9);
+}
+
+}  // namespace
+}  // namespace photodtn

@@ -1,0 +1,146 @@
+// End-to-end properties of the full pipeline on a small but non-trivial
+// scenario: the qualitative claims of Section V must hold (scheme ordering,
+// resource-constraint effects, conservation invariants).
+#include <gtest/gtest.h>
+
+#include "schemes/factory.h"
+#include "sim/experiment.h"
+
+namespace photodtn {
+namespace {
+
+ExperimentSpec scenario(std::size_t runs = 3) {
+  ExperimentSpec spec;
+  spec.scenario = ScenarioConfig::mit(1);
+  spec.scenario.num_pois = 60;
+  spec.scenario.photo_rate_per_hour = 120.0;
+  spec.scenario.trace.num_participants = 24;
+  spec.scenario.trace.duration_s = 40.0 * 3600.0;
+  spec.scenario.trace.base_pair_rate_per_hour = 0.25;
+  spec.scenario.trace.team_size = 6;
+  spec.scenario.trace.gateway_fraction = 0.1;
+  spec.scenario.trace.gateway_mean_interval_s = 2.0 * 3600.0;
+  spec.scenario.sim.node_storage_bytes = 48'000'000;  // 12 photos
+  spec.scenario.sim.sample_interval_s = 4.0 * 3600.0;
+  spec.runs = runs;
+  return spec;
+}
+
+ExperimentResult run_scheme(const std::string& name, std::size_t runs = 3) {
+  ExperimentSpec spec = scenario(runs);
+  spec.scheme = name;
+  return run_experiment(spec);
+}
+
+TEST(EndToEnd, SchemeOrderingMatchesFigureFive) {
+  const ExperimentResult best = run_scheme("BestPossible");
+  const ExperimentResult ours = run_scheme("OurScheme");
+  const ExperimentResult spray = run_scheme("Spray&Wait");
+
+  // BestPossible is the upper bound.
+  EXPECT_GE(best.final_point.mean() + 1e-9, ours.final_point.mean());
+  EXPECT_GE(best.final_aspect.mean() + 1e-9, ours.final_aspect.mean());
+  // Ours clearly beats the content-agnostic baseline on aspect coverage.
+  EXPECT_GT(ours.final_aspect.mean(), spray.final_aspect.mean());
+  EXPECT_GE(ours.final_point.mean(), spray.final_point.mean());
+}
+
+TEST(EndToEnd, OursDeliversFarFewerPhotosThanFlooding) {
+  const ExperimentResult ours = run_scheme("OurScheme");
+  const ExperimentResult best = run_scheme("BestPossible");
+  const ExperimentResult spray = run_scheme("Spray&Wait");
+  // Ours can never deliver more distinct photos than the unconstrained
+  // flooding bound (it delivers a subset: only coverage-increasing ones).
+  EXPECT_LE(ours.final_delivered.mean(), best.final_delivered.mean() + 1e-9);
+  // Fig. 7(c): content-agnostic routing ships piles of irrelevant photos;
+  // coverage-aware selection delivers far fewer.
+  EXPECT_LT(ours.final_delivered.mean(), 0.5 * spray.final_delivered.mean());
+}
+
+TEST(EndToEnd, MoreStorageNeverHurtsOurScheme) {
+  ExperimentSpec small = scenario();
+  small.scheme = "OurScheme";
+  small.scenario.sim.node_storage_bytes = 12'000'000;  // 3 photos
+  ExperimentSpec large = small;
+  large.scenario.sim.node_storage_bytes = 96'000'000;  // 24 photos
+  const ExperimentResult rs = run_experiment(small);
+  const ExperimentResult rl = run_experiment(large);
+  // Fig. 7 trend (allow tiny noise from greedy tie-breaks).
+  EXPECT_GE(rl.final_aspect.mean() * 1.1 + 1e-6, rs.final_aspect.mean());
+}
+
+TEST(EndToEnd, ShortContactsDegradeGracefully) {
+  ExperimentSpec full = scenario();
+  full.scheme = "OurScheme";
+  ExperimentSpec mid = full;
+  mid.max_contact_duration_s = 120.0;
+  ExperimentSpec tiny = full;
+  // Below one photo per contact: only direct captures at gateways can ever
+  // reach the center.
+  tiny.max_contact_duration_s = 1.0;
+  const double f = run_experiment(full).final_aspect.mean();
+  const double m = run_experiment(mid).final_aspect.mean();
+  const double t = run_experiment(tiny).final_aspect.mean();
+  // Fig. 6 shape: mild loss at moderate truncation, large loss at extreme.
+  EXPECT_LE(t, m + 1e-9);
+  EXPECT_LE(m, f + 1e-9);
+  EXPECT_LT(t, 0.9 * f + 1e-9);
+}
+
+TEST(EndToEnd, CoverageCurvesAreMonotone) {
+  for (const std::string& name : simulation_scheme_names()) {
+    ExperimentSpec spec = scenario(1);
+    spec.scheme = name;
+    const ExperimentResult r = run_experiment(spec);
+    const auto pt = r.point.means();
+    const auto as = r.aspect.means();
+    for (std::size_t i = 1; i < pt.size(); ++i) {
+      EXPECT_GE(pt[i] + 1e-12, pt[i - 1]) << name;
+      EXPECT_GE(as[i] + 1e-12, as[i - 1]) << name;
+    }
+  }
+}
+
+/// The qualitative ordering must hold on both Table I trace presets, not
+/// just the MIT-like default the other tests use.
+class TracePresetSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TracePresetSweep, OrderingHoldsOnBothTraces) {
+  const bool cambridge = std::string(GetParam()) == "cambridge";
+  ExperimentSpec spec;
+  spec.scenario = cambridge ? ScenarioConfig::cambridge(1) : ScenarioConfig::mit(1);
+  spec.scenario.num_pois = 50;
+  spec.scenario.photo_rate_per_hour = 100.0;
+  spec.scenario.trace.num_participants = 20;
+  spec.scenario.trace.duration_s = 30.0 * 3600.0;
+  spec.scenario.trace.base_pair_rate_per_hour = 0.3;
+  spec.scenario.trace.gateway_fraction = 0.1;
+  spec.scenario.trace.gateway_mean_interval_s = 2.0 * 3600.0;
+  spec.scenario.sim.node_storage_bytes = 40'000'000;
+  spec.scenario.sim.sample_interval_s = 6.0 * 3600.0;
+  spec.runs = 2;
+
+  auto final_aspect = [&](const char* scheme) {
+    ExperimentSpec s = spec;
+    s.scheme = scheme;
+    return run_experiment(s).final_aspect.mean();
+  };
+  const double best = final_aspect("BestPossible");
+  const double ours = final_aspect("OurScheme");
+  const double spray = final_aspect("Spray&Wait");
+  EXPECT_GE(best + 1e-9, ours) << GetParam();
+  EXPECT_GT(ours, spray) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Traces, TracePresetSweep, ::testing::Values("mit", "cambridge"));
+
+TEST(EndToEnd, NoMetadataUnderperformsFullScheme) {
+  const ExperimentResult ours = run_scheme("OurScheme", 4);
+  const ExperimentResult nometa = run_scheme("NoMetadata", 4);
+  // The ablation shouldn't beat the full scheme by any meaningful margin
+  // (Fig. 5 shows it strictly below; small scenarios are noisier).
+  EXPECT_LE(nometa.final_aspect.mean(), ours.final_aspect.mean() * 1.05 + 1e-6);
+}
+
+}  // namespace
+}  // namespace photodtn

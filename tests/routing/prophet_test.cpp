@@ -1,0 +1,101 @@
+#include "routing/prophet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace photodtn {
+namespace {
+
+constexpr ProphetConfig kCfg{};  // Table I: 0.75 / 0.25 / 0.98
+
+TEST(Prophet, UnknownNodesHaveZeroProbability) {
+  const ProphetTable t(kCfg, 1);
+  EXPECT_EQ(t.delivery_prob(2), 0.0);
+  EXPECT_EQ(t.delivery_prob(1), 1.0);  // self
+}
+
+TEST(Prophet, EncounterSetsPInit) {
+  ProphetTable a(kCfg, 1), b(kCfg, 2);
+  ProphetTable::encounter(a, b, 0.0);
+  EXPECT_DOUBLE_EQ(a.delivery_prob(2), 0.75);
+  EXPECT_DOUBLE_EQ(b.delivery_prob(1), 0.75);
+}
+
+TEST(Prophet, RepeatedEncountersApproachOne) {
+  ProphetTable a(kCfg, 1), b(kCfg, 2);
+  double prev = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    ProphetTable::encounter(a, b, i * 1.0);
+    const double p = a.delivery_prob(2);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  // P after two encounters: 0.75 + 0.25*0.75 = 0.9375 (aging over 1 s with a
+  // 600 s unit is negligible but nonzero).
+  EXPECT_LT(prev, 1.0);
+  EXPECT_GT(prev, 0.99);
+}
+
+TEST(Prophet, AgingDecaysExponentially) {
+  ProphetTable a(kCfg, 1), b(kCfg, 2);
+  ProphetTable::encounter(a, b, 0.0);
+  a.age(600.0);  // one time unit
+  EXPECT_NEAR(a.delivery_prob(2), 0.75 * 0.98, 1e-12);
+  a.age(600.0 * 11.0);  // ten more units
+  EXPECT_NEAR(a.delivery_prob(2), 0.75 * std::pow(0.98, 11.0), 1e-12);
+}
+
+TEST(Prophet, AgingIsIdempotentAtSameTime) {
+  ProphetTable a(kCfg, 1), b(kCfg, 2);
+  ProphetTable::encounter(a, b, 0.0);
+  a.age(1200.0);
+  const double p = a.delivery_prob(2);
+  a.age(1200.0);
+  EXPECT_DOUBLE_EQ(a.delivery_prob(2), p);
+}
+
+TEST(Prophet, AgingRejectsTimeTravel) {
+  ProphetTable a(kCfg, 1);
+  a.age(100.0);
+  EXPECT_THROW(a.age(50.0), std::logic_error);
+}
+
+TEST(Prophet, TransitivityPropagates) {
+  // b has met the command center (0); when a meets b, a gains an indirect
+  // path: P(a,0) = P(a,b) * P(b,0) * beta.
+  ProphetTable a(kCfg, 1), b(kCfg, 2), cc(kCfg, 0);
+  ProphetTable::encounter(b, cc, 0.0);
+  const double p_b0 = b.delivery_prob(0);
+  ProphetTable::encounter(a, b, 0.0);
+  EXPECT_NEAR(a.delivery_prob(0), 0.75 * p_b0 * 0.25, 1e-12);
+}
+
+TEST(Prophet, TransitivityUsesPreEncounterSnapshot) {
+  // The transitive rule must not feed on the just-updated direct entries:
+  // a's new knowledge of b must come from b's pre-encounter table.
+  ProphetTable a(kCfg, 1), b(kCfg, 2);
+  ProphetTable::encounter(a, b, 0.0);
+  // b knew nothing about node 3, so a must not either.
+  EXPECT_EQ(a.delivery_prob(3), 0.0);
+}
+
+TEST(Prophet, EncounterRejectsSelf) {
+  ProphetTable a(kCfg, 1), also_a(kCfg, 1);
+  EXPECT_THROW(ProphetTable::encounter(a, also_a, 0.0), std::logic_error);
+}
+
+TEST(Prophet, ProbabilitiesStayInUnitInterval) {
+  ProphetTable a(kCfg, 1), b(kCfg, 2), c(kCfg, 3);
+  for (int i = 0; i < 50; ++i) {
+    ProphetTable::encounter(a, b, i * 10.0);
+    ProphetTable::encounter(b, c, i * 10.0 + 5.0);
+    for (const auto& [node, p] : a.entries()) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace photodtn

@@ -1,0 +1,59 @@
+#include "routing/rate_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace photodtn {
+namespace {
+
+TEST(RateEstimator, ZeroBeforeAnyObservation) {
+  const RateEstimator e;
+  EXPECT_EQ(e.rate_with(1, 100.0), 0.0);
+  EXPECT_EQ(e.aggregate_rate(100.0), 0.0);
+}
+
+TEST(RateEstimator, PoissonMle) {
+  RateEstimator e(0.0);
+  for (int i = 1; i <= 10; ++i) e.record_contact(1, i * 100.0);
+  // 10 contacts in 1000 s -> 0.01 contacts/s.
+  EXPECT_NEAR(e.rate_with(1, 1000.0), 0.01, 1e-12);
+}
+
+TEST(RateEstimator, AggregateIsSumOfPairRates) {
+  RateEstimator e(0.0);
+  e.record_contact(1, 10.0);
+  e.record_contact(2, 20.0);
+  e.record_contact(1, 30.0);
+  const double now = 100.0;
+  EXPECT_NEAR(e.aggregate_rate(now), e.rate_with(1, now) + e.rate_with(2, now), 1e-12);
+}
+
+TEST(RateEstimator, RespectsStartTime) {
+  RateEstimator e(1000.0);
+  e.record_contact(1, 1500.0);
+  // One contact in 500 s of observation.
+  EXPECT_NEAR(e.rate_with(1, 1500.0), 1.0 / 500.0, 1e-12);
+}
+
+TEST(RateEstimator, ConvergesToTrueRate) {
+  Rng rng(42);
+  RateEstimator e(0.0);
+  const double lambda = 0.002;  // one contact every 500 s
+  double t = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    t += rng.exponential(lambda);
+    e.record_contact(1, t);
+  }
+  EXPECT_NEAR(e.rate_with(1, t), lambda, lambda * 0.1);
+}
+
+TEST(RateEstimator, FloorsObservationTime) {
+  RateEstimator e(0.0);
+  e.record_contact(1, 0.0);
+  // now == start: denominator floored at 1 s, no division blowup.
+  EXPECT_LE(e.aggregate_rate(0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace photodtn

@@ -1,0 +1,73 @@
+#include "routing/spray_counter.h"
+
+#include <gtest/gtest.h>
+
+namespace photodtn {
+namespace {
+
+TEST(SprayCounter, CreateGivesInitialCopies) {
+  SprayCounter c(4);
+  c.on_create(10);
+  EXPECT_EQ(c.copies(10), 4u);
+  EXPECT_TRUE(c.can_spray(10));
+}
+
+TEST(SprayCounter, UnknownPhotoHasNoCopies) {
+  const SprayCounter c(4);
+  EXPECT_EQ(c.copies(99), 0u);
+  EXPECT_FALSE(c.can_spray(99));
+}
+
+TEST(SprayCounter, BinarySplit) {
+  SprayCounter c(4);
+  c.on_create(1);
+  EXPECT_EQ(c.spray(1), 2u);  // gives floor(4/2)
+  EXPECT_EQ(c.copies(1), 2u);
+  EXPECT_EQ(c.spray(1), 1u);  // gives floor(2/2)
+  EXPECT_EQ(c.copies(1), 1u);
+  EXPECT_FALSE(c.can_spray(1));  // wait phase
+}
+
+TEST(SprayCounter, OddCopiesKeepCeil) {
+  SprayCounter c(5);
+  c.on_create(1);
+  EXPECT_EQ(c.spray(1), 2u);
+  EXPECT_EQ(c.copies(1), 3u);
+}
+
+TEST(SprayCounter, SprayInWaitPhaseIsAnError) {
+  SprayCounter c(1);
+  c.on_create(1);
+  EXPECT_THROW(c.spray(1), std::logic_error);
+}
+
+TEST(SprayCounter, ReceiveAccumulates) {
+  SprayCounter c(4);
+  c.on_receive(7, 2);
+  EXPECT_EQ(c.copies(7), 2u);
+  c.on_receive(7, 1);
+  EXPECT_EQ(c.copies(7), 3u);
+}
+
+TEST(SprayCounter, DropForgets) {
+  SprayCounter c(4);
+  c.on_create(3);
+  c.on_drop(3);
+  EXPECT_EQ(c.copies(3), 0u);
+}
+
+TEST(SprayCounter, TotalCopiesConservedAcrossSplits) {
+  // Spraying moves copies, never creates them: source + given == before.
+  SprayCounter src(8), dst(8);
+  src.on_create(1);
+  std::uint32_t total = src.copies(1);
+  while (src.can_spray(1)) {
+    const std::uint32_t given = src.spray(1);
+    dst.on_receive(1, given);
+    EXPECT_EQ(src.copies(1) + dst.copies(1), total);
+  }
+  EXPECT_EQ(src.copies(1), 1u);
+}
+
+}  // namespace
+}  // namespace photodtn

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "schemes/best_possible.h"
+#include "schemes/factory.h"
+#include "schemes/modified_spray.h"
+#include "schemes/photonet.h"
+#include "schemes/spray_and_wait.h"
+#include "test_util.h"
+
+namespace photodtn {
+namespace {
+
+using test::make_poi;
+using test::photo_viewing;
+
+CoverageModel probe_model() {
+  return CoverageModel{{make_poi(0.0, 0.0)}, deg_to_rad(30.0)};
+}
+
+PhotoEvent capture(double t, NodeId node, PhotoMeta p) {
+  p.taken_by = node;
+  p.taken_at = t;
+  return PhotoEvent{t, node, p};
+}
+
+SimConfig small_config(std::uint64_t storage_photos = 5) {
+  SimConfig cfg;
+  cfg.node_storage_bytes = storage_photos * 4'000'000;
+  cfg.bandwidth_bytes_per_s = 2.0e6;
+  cfg.sample_interval_s = 1e9;
+  return cfg;
+}
+
+TEST(Factory, CreatesAllSchemes) {
+  for (const char* name :
+       {"OurScheme", "NoMetadata", "Spray&Wait", "ModifiedSpray", "PhotoNet",
+        "BestPossible"}) {
+    const auto s = make_scheme(name);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name(), name);
+  }
+  EXPECT_THROW(make_scheme("Nonsense"), std::invalid_argument);
+  EXPECT_EQ(simulation_scheme_names().size(), 5u);
+  EXPECT_EQ(demo_scheme_names().size(), 3u);
+}
+
+TEST(SprayAndWait, DeliversDirectlyAndViaRelay) {
+  const CoverageModel model = probe_model();
+  const ContactTrace trace{{{100.0, 600.0, 1, 2}, {200.0, 600.0, 0, 2}}, 3, 1000.0};
+  Simulator sim(model, trace,
+                {capture(1.0, 1, photo_viewing(model.pois()[0], 0.0))}, small_config());
+  SprayAndWaitScheme scheme(4);
+  const SimResult r = sim.run(scheme);
+  EXPECT_EQ(r.delivered_photos, 1u);
+}
+
+TEST(SprayAndWait, WaitPhaseBlocksFurtherSpraying) {
+  // With L = 1 the source is immediately in the wait phase: a relay never
+  // receives the photo; only a direct center contact delivers it.
+  const CoverageModel model = probe_model();
+  const ContactTrace trace{{{100.0, 600.0, 1, 2}}, 3, 1000.0};
+  Simulator sim(model, trace,
+                {capture(1.0, 1, photo_viewing(model.pois()[0], 0.0))}, small_config());
+  SprayAndWaitScheme scheme(1);
+  const SimResult r = sim.run(scheme);
+  EXPECT_EQ(r.counters.transfers, 0u);
+}
+
+TEST(SprayAndWait, ContentAgnostic) {
+  // An irrelevant photo is sprayed exactly like a useful one.
+  const CoverageModel model = probe_model();
+  const ContactTrace trace{{{100.0, 600.0, 1, 2}}, 3, 1000.0};
+  Simulator sim(model, trace, {capture(1.0, 1, test::make_photo(5000.0, 5000.0, 0.0))},
+                small_config());
+  SprayAndWaitScheme scheme(4);
+  const SimResult r = sim.run(scheme);
+  EXPECT_EQ(r.counters.transfers, 1u);
+}
+
+TEST(ModifiedSpray, TransmitsHighestCoverageFirst) {
+  // Budget fits one photo: the useful one must be sprayed, not the
+  // irrelevant one taken earlier.
+  const CoverageModel model = probe_model();
+  SimConfig cfg = small_config();
+  cfg.bandwidth_bytes_per_s = 4'000'000.0;
+  const ContactTrace trace{{{100.0, 1.0, 1, 2}}, 3, 1000.0};
+  Simulator sim(model, trace,
+                {capture(1.0, 1, test::make_photo(5000.0, 5000.0, 0.0)),
+                 capture(2.0, 1, photo_viewing(model.pois()[0], 0.0))},
+                cfg);
+  ModifiedSprayScheme scheme(4);
+  const SimResult r = sim.run(scheme);
+  EXPECT_EQ(r.counters.transfers, 1u);
+  // The receiving node 2 must now hold the *useful* photo. We can't look
+  // into node 2 after run(), but delivery at a later center contact would
+  // prove it; instead assert via bytes: exactly one 4 MB photo moved.
+  EXPECT_EQ(r.counters.bytes_transferred, 4'000'000u);
+}
+
+TEST(ModifiedSpray, EvictsLowestCoverageWhenFull) {
+  // Receiver full of an irrelevant photo must evict it for a useful one.
+  const CoverageModel model = probe_model();
+  SimConfig cfg = small_config(/*storage_photos=*/1);
+  const ContactTrace trace{{{100.0, 600.0, 1, 2}, {200.0, 600.0, 0, 2}}, 3, 1000.0};
+  Simulator sim(model, trace,
+                {capture(1.0, 1, photo_viewing(model.pois()[0], 0.0)),
+                 capture(2.0, 2, test::make_photo(5000.0, 5000.0, 0.0))},
+                cfg);
+  ModifiedSprayScheme scheme(4);
+  const SimResult r = sim.run(scheme);
+  EXPECT_GE(r.counters.drops, 1u);
+  EXPECT_EQ(r.delivered_photos, 1u);  // the useful photo reached the center
+  EXPECT_DOUBLE_EQ(r.final_point_norm, 1.0);
+}
+
+TEST(BestPossible, RequestsUnconstrainedResources) {
+  BestPossibleScheme s;
+  EXPECT_TRUE(s.wants_unlimited_storage());
+  EXPECT_TRUE(s.wants_unlimited_bandwidth());
+}
+
+TEST(BestPossible, IgnoresIrrelevantPhotos) {
+  const CoverageModel model = probe_model();
+  const ContactTrace trace{{{100.0, 1.0, 1, 2}}, 3, 1000.0};
+  SimConfig cfg = small_config();
+  cfg.unlimited_bandwidth = true;
+  cfg.unlimited_storage = true;
+  Simulator sim(model, trace, {capture(1.0, 1, test::make_photo(5000.0, 5000.0, 0.0))},
+                cfg);
+  BestPossibleScheme scheme;
+  const SimResult r = sim.run(scheme);
+  EXPECT_EQ(r.counters.transfers, 0u);  // irrelevant photo never stored
+}
+
+TEST(BestPossible, ReplicatesEverythingUseful) {
+  const CoverageModel model = probe_model();
+  const ContactTrace trace{{{100.0, 1.0, 1, 2}, {200.0, 1.0, 0, 2}}, 3, 1000.0};
+  SimConfig cfg = small_config();
+  cfg.unlimited_bandwidth = true;
+  cfg.unlimited_storage = true;
+  Simulator sim(model, trace,
+                {capture(1.0, 1, photo_viewing(model.pois()[0], 0.0)),
+                 capture(2.0, 1, photo_viewing(model.pois()[0], 90.0)),
+                 capture(3.0, 1, photo_viewing(model.pois()[0], 180.0))},
+                cfg);
+  BestPossibleScheme scheme;
+  const SimResult r = sim.run(scheme);
+  EXPECT_EQ(r.delivered_photos, 3u);
+  EXPECT_DOUBLE_EQ(r.final_point_norm, 1.0);
+}
+
+TEST(PhotoNet, FeaturesDeterministicPerPhoto) {
+  PhotoNetScheme s;
+  const PhotoMeta p = test::make_photo(100.0, 200.0, 0.0);
+  const auto f1 = s.features(p);
+  const auto f2 = s.features(p);
+  EXPECT_EQ(f1, f2);
+  PhotoMeta q = p;
+  q.id += 1;
+  EXPECT_NE(s.features(q), f1);  // synthetic color differs by id
+}
+
+TEST(PhotoNet, PrefersDiversePhotos) {
+  // Sender holds two photos at the same spot/time and one far away; with
+  // budget for two transfers the far one must be among them.
+  const CoverageModel model = probe_model();
+  SimConfig cfg = small_config();
+  cfg.bandwidth_bytes_per_s = 8'000'000.0;  // 2 photos in 1 s
+  const ContactTrace trace{{{100.0, 1.0, 1, 2}}, 3, 1000.0};
+  test::reset_photo_ids();
+  PhotoMeta near1 = test::make_photo(10.0, 10.0, 0.0);
+  PhotoMeta near2 = test::make_photo(11.0, 10.0, 0.0);
+  PhotoMeta far = test::make_photo(5000.0, 5000.0, 0.0);
+  Simulator sim(model, trace,
+                {capture(1.0, 1, near1), capture(2.0, 1, near2), capture(3.0, 1, far)},
+                cfg);
+  PhotoNetScheme scheme;
+  const SimResult r = sim.run(scheme);
+  EXPECT_EQ(r.counters.transfers, 2u);
+  // First transfer is the remote-first pick; we can't observe node 2's
+  // contents directly, but both near-duplicates cannot both have moved:
+  // the greedy max-min picks `far` plus one of the near photos.
+}
+
+TEST(PhotoNet, EvictsLeastDiverseWhenFull) {
+  // Receiver holds two near-identical photos and is full; an incoming
+  // distant photo must displace one of the near-duplicates.
+  const CoverageModel model = probe_model();
+  SimConfig cfg = small_config(/*storage_photos=*/2);
+  const ContactTrace trace{{{100.0, 600.0, 1, 2}}, 3, 1000.0};
+  test::reset_photo_ids();
+  PhotoMeta near1 = test::make_photo(10.0, 10.0, 0.0);
+  PhotoMeta near2 = test::make_photo(12.0, 10.0, 0.0);
+  PhotoMeta far = test::make_photo(4000.0, 4000.0, 0.0);
+  Simulator sim(model, trace,
+                {capture(1.0, 2, near1), capture(2.0, 2, near2), capture(3.0, 1, far)},
+                cfg);
+  PhotoNetScheme scheme;
+  const SimResult r = sim.run(scheme);
+  EXPECT_EQ(r.counters.drops, 1u);
+  EXPECT_TRUE(sim.node(2).store().contains(far.id));
+  // Exactly one of the near-duplicates survived.
+  EXPECT_NE(sim.node(2).store().contains(near1.id),
+            sim.node(2).store().contains(near2.id));
+}
+
+TEST(OurSchemeVictims, EvictionPrefersPhotosNoPlanWants) {
+  // Node 2 is full of irrelevant photos; node 1 brings a useful one. The
+  // reallocation must evict an irrelevant photo at node 2, never the
+  // incoming useful one, and never lose node 1's copy.
+  const CoverageModel model = probe_model();
+  SimConfig cfg = small_config(/*storage_photos=*/2);
+  const ContactTrace trace{{{100.0, 600.0, 1, 2}}, 3, 1000.0};
+  test::reset_photo_ids();
+  const PhotoMeta useful = photo_viewing(model.pois()[0], 0.0);
+  Simulator sim(model, trace,
+                {capture(1.0, 1, useful),
+                 capture(2.0, 2, test::make_photo(5000.0, 5000.0, 0.0)),
+                 capture(3.0, 2, test::make_photo(5200.0, 5000.0, 0.0))},
+                cfg);
+  auto scheme = make_scheme("OurScheme");
+  const SimResult r = sim.run(*scheme);
+  EXPECT_TRUE(sim.node(1).store().contains(useful.id));
+  EXPECT_TRUE(sim.node(2).store().contains(useful.id));
+  EXPECT_GE(r.counters.drops, 1u);
+}
+
+TEST(PhotoNet, DeliversToCenter) {
+  const CoverageModel model = probe_model();
+  const ContactTrace trace{{{100.0, 600.0, 0, 1}}, 2, 1000.0};
+  Simulator sim(model, trace,
+                {capture(1.0, 1, photo_viewing(model.pois()[0], 0.0))}, small_config());
+  PhotoNetScheme scheme;
+  const SimResult r = sim.run(scheme);
+  EXPECT_EQ(r.delivered_photos, 1u);
+}
+
+}  // namespace
+}  // namespace photodtn

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "schemes/epidemic.h"
+#include "schemes/factory.h"
+#include "schemes/prophet_routing.h"
+#include "test_util.h"
+
+namespace photodtn {
+namespace {
+
+using test::make_poi;
+using test::photo_viewing;
+
+CoverageModel probe_model() {
+  return CoverageModel{{make_poi(0.0, 0.0)}, deg_to_rad(30.0)};
+}
+
+PhotoEvent capture(double t, NodeId node, PhotoMeta p) {
+  p.taken_by = node;
+  p.taken_at = t;
+  return PhotoEvent{t, node, p};
+}
+
+SimConfig small_config(std::uint64_t storage_photos = 5) {
+  SimConfig cfg;
+  cfg.node_storage_bytes = storage_photos * 4'000'000;
+  cfg.bandwidth_bytes_per_s = 2.0e6;
+  cfg.sample_interval_s = 1e9;
+  return cfg;
+}
+
+TEST(Factory, CreatesExtraBaselines) {
+  EXPECT_EQ(make_scheme("Epidemic")->name(), "Epidemic");
+  EXPECT_EQ(make_scheme("PROPHET")->name(), "PROPHET");
+}
+
+TEST(Epidemic, FloodsEverythingWithinConstraints) {
+  const CoverageModel model = probe_model();
+  const ContactTrace trace{{{100.0, 600.0, 1, 2}, {200.0, 600.0, 0, 2}}, 3, 1000.0};
+  Simulator sim(model, trace,
+                {capture(1.0, 1, photo_viewing(model.pois()[0], 0.0)),
+                 capture(2.0, 1, test::make_photo(5000.0, 5000.0, 0.0))},
+                small_config());
+  EpidemicScheme scheme;
+  const SimResult r = sim.run(scheme);
+  // Both photos (useful AND irrelevant) replicate to node 2 and then reach
+  // the center — epidemic is content-blind.
+  EXPECT_EQ(r.delivered_photos, 2u);
+  EXPECT_EQ(r.counters.transfers, 4u);
+}
+
+TEST(Epidemic, ReceiverStorageStopsFlood) {
+  const CoverageModel model = probe_model();
+  const ContactTrace trace{{{100.0, 600.0, 1, 2}}, 3, 1000.0};
+  SimConfig cfg = small_config(/*storage_photos=*/2);
+  std::vector<PhotoEvent> events;
+  for (PhotoId i = 1; i <= 4; ++i)
+    events.push_back(capture(static_cast<double>(i), 1, test::make_photo(0, 0, 0)));
+  // Node 1 can only keep 2 of its own photos anyway; node 2 accepts 2.
+  Simulator sim(model, trace, std::move(events), cfg);
+  EpidemicScheme scheme;
+  const SimResult r = sim.run(scheme);
+  EXPECT_LE(r.counters.transfers, 2u);
+}
+
+TEST(Epidemic, DeliveryReleasesCustody) {
+  const CoverageModel model = probe_model();
+  const ContactTrace trace{{{100.0, 600.0, 0, 1}}, 2, 1000.0};
+  Simulator sim(model, trace,
+                {capture(1.0, 1, photo_viewing(model.pois()[0], 0.0))}, small_config());
+  EpidemicScheme scheme;
+  const SimResult r = sim.run(scheme);
+  EXPECT_EQ(r.delivered_photos, 1u);
+  // keep_source=false on delivery: the relay's buffer is freed.
+  EXPECT_EQ(sim.node(1).store().size(), 0u);
+}
+
+TEST(ProphetRouting, ForwardsOnlyTowardBetterCustodians) {
+  test::reset_photo_ids();
+  const CoverageModel model = probe_model();
+  // Node 2 has met the center (high predictability); node 1 has not.
+  // Contact order: (2,0) warms node 2, then (1,2): 1 -> 2 forwards, 2 -> 1
+  // must not.
+  const ContactTrace trace{{{50.0, 600.0, 0, 2}, {100.0, 600.0, 1, 2}}, 3, 1000.0};
+  Simulator sim(model, trace,
+                {capture(1.0, 1, photo_viewing(model.pois()[0], 0.0)),
+                 capture(2.0, 2, photo_viewing(model.pois()[0], 90.0))},
+                small_config());
+  ProphetRoutingScheme scheme;
+  const SimResult r = sim.run(scheme);
+  // Node 2 delivered its photo at t=50; at t=100 node 1 replicates its
+  // photo to node 2 (better custodian) but not vice versa.
+  EXPECT_EQ(r.counters.transfers, 2u);  // delivery at 50 + forward at 100
+  EXPECT_TRUE(sim.node(2).store().contains(1));
+  EXPECT_FALSE(sim.node(1).store().contains(2));
+}
+
+TEST(ProphetRouting, DirectDeliveryDrainsBuffer) {
+  const CoverageModel model = probe_model();
+  const ContactTrace trace{{{100.0, 600.0, 0, 1}}, 2, 1000.0};
+  Simulator sim(model, trace,
+                {capture(1.0, 1, photo_viewing(model.pois()[0], 0.0)),
+                 capture(2.0, 1, photo_viewing(model.pois()[0], 90.0))},
+                small_config());
+  ProphetRoutingScheme scheme;
+  const SimResult r = sim.run(scheme);
+  EXPECT_EQ(r.delivered_photos, 2u);
+  EXPECT_EQ(sim.node(1).store().size(), 0u);
+}
+
+TEST(ProphetRouting, NoForwardingBetweenCenterlessStrangers) {
+  const CoverageModel model = probe_model();
+  const ContactTrace trace{{{100.0, 600.0, 1, 2}}, 3, 1000.0};
+  Simulator sim(model, trace,
+                {capture(1.0, 1, photo_viewing(model.pois()[0], 0.0))}, small_config());
+  ProphetRoutingScheme scheme;
+  const SimResult r = sim.run(scheme);
+  // Neither node has any predictability toward the center: no transfers.
+  EXPECT_EQ(r.counters.transfers, 0u);
+}
+
+}  // namespace
+}  // namespace photodtn

@@ -1,0 +1,113 @@
+#include "selection/metadata_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace photodtn {
+namespace {
+
+MetadataEntry entry(NodeId owner, double observed_at, double lambda, double p = 0.5) {
+  MetadataEntry e;
+  e.owner = owner;
+  e.observed_at = observed_at;
+  e.lambda = lambda;
+  e.delivery_prob = p;
+  e.photos = {test::make_photo(0, 0, 0)};
+  return e;
+}
+
+TEST(MetadataCache, StalenessProbabilityMatchesEquationOne) {
+  // P{T_a < t} = 1 - exp(-lambda t).
+  EXPECT_NEAR(MetadataCache::staleness_probability(0.01, 100.0), 1.0 - std::exp(-1.0),
+              1e-12);
+  EXPECT_EQ(MetadataCache::staleness_probability(0.01, 0.0), 0.0);
+  EXPECT_EQ(MetadataCache::staleness_probability(0.0, 100.0), 0.0);
+}
+
+TEST(MetadataCache, ValidityThreshold) {
+  const MetadataCache cache(0.8);
+  // lambda = 0.01/s: entry crosses P = 0.8 at t = -ln(0.2)/0.01 = 160.9 s.
+  const MetadataEntry e = entry(1, 0.0, 0.01);
+  EXPECT_TRUE(cache.is_valid(e, 100.0));
+  EXPECT_TRUE(cache.is_valid(e, 160.0));
+  EXPECT_FALSE(cache.is_valid(e, 162.0));
+}
+
+TEST(MetadataCache, CommandCenterAlwaysValid) {
+  const MetadataCache cache(0.8);
+  const MetadataEntry e = entry(kCommandCenter, 0.0, 100.0);
+  EXPECT_TRUE(cache.is_valid(e, 1e9));
+}
+
+TEST(MetadataCache, UpdateKeepsFresher) {
+  MetadataCache cache(0.8);
+  EXPECT_TRUE(cache.update(entry(1, 10.0, 0.01)));
+  EXPECT_FALSE(cache.update(entry(1, 5.0, 0.01)));   // older rejected
+  EXPECT_FALSE(cache.update(entry(1, 10.0, 0.01)));  // same age rejected
+  EXPECT_TRUE(cache.update(entry(1, 20.0, 0.02)));
+  EXPECT_DOUBLE_EQ(cache.find(1)->lambda, 0.02);
+}
+
+TEST(MetadataCache, PruneRemovesInvalid) {
+  MetadataCache cache(0.8);
+  cache.update(entry(1, 0.0, 1.0));     // goes stale almost immediately
+  cache.update(entry(2, 0.0, 1e-9));    // stays valid for ages
+  cache.update(entry(kCommandCenter, 0.0, 1.0));
+  cache.prune(100.0);
+  EXPECT_EQ(cache.find(1), nullptr);
+  EXPECT_NE(cache.find(2), nullptr);
+  EXPECT_NE(cache.find(kCommandCenter), nullptr);
+}
+
+TEST(MetadataCache, ValidEntriesFiltersWithoutPruning) {
+  MetadataCache cache(0.8);
+  cache.update(entry(1, 0.0, 1.0));
+  cache.update(entry(2, 0.0, 1e-9));
+  const auto valid = cache.valid_entries(100.0);
+  ASSERT_EQ(valid.size(), 1u);
+  EXPECT_EQ(valid[0]->owner, 2);
+  EXPECT_EQ(cache.size(), 2u);  // nothing removed
+}
+
+TEST(MetadataCache, MergeTakesFresherAndSkipsSelf) {
+  MetadataCache mine(0.8), theirs(0.8);
+  mine.update(entry(2, 10.0, 0.01));
+  theirs.update(entry(2, 20.0, 0.05));  // fresher view of node 2
+  theirs.update(entry(1, 30.0, 0.01));  // their view of *me*
+  theirs.update(entry(3, 5.0, 0.01));
+  mine.merge_from(theirs, /*self=*/1);
+  EXPECT_DOUBLE_EQ(mine.find(2)->lambda, 0.05);
+  EXPECT_EQ(mine.find(1), nullptr);  // own entry never cached
+  EXPECT_NE(mine.find(3), nullptr);
+}
+
+TEST(MetadataCache, EraseAndOwnerValidation) {
+  MetadataCache cache(0.8);
+  cache.update(entry(1, 0.0, 0.01));
+  cache.erase(1);
+  EXPECT_EQ(cache.find(1), nullptr);
+  MetadataEntry bad;
+  bad.owner = -1;
+  EXPECT_THROW(cache.update(bad), std::logic_error);
+}
+
+class PthldSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PthldSweep, ValidityHorizonGrowsWithThreshold) {
+  const double p_thld = GetParam();
+  const MetadataCache cache(p_thld);
+  const double lambda = 0.01;
+  const MetadataEntry e = entry(1, 0.0, lambda);
+  const double horizon = -std::log(1.0 - p_thld) / lambda;
+  EXPECT_TRUE(cache.is_valid(e, horizon * 0.99));
+  EXPECT_FALSE(cache.is_valid(e, horizon * 1.01));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, PthldSweep,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8, 0.9, 0.95));
+
+}  // namespace
+}  // namespace photodtn

@@ -1,0 +1,67 @@
+#include "sim/result_io.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+
+namespace photodtn {
+namespace {
+
+ExperimentResult tiny_result() {
+  ExperimentSpec spec;
+  spec.scenario = ScenarioConfig::mit(1);
+  spec.scenario.num_pois = 20;
+  spec.scenario.photo_rate_per_hour = 40.0;
+  spec.scenario.trace.num_participants = 10;
+  spec.scenario.trace.duration_s = 10.0 * 3600.0;
+  spec.scenario.trace.base_pair_rate_per_hour = 0.4;
+  spec.scenario.sim.sample_interval_s = 2.0 * 3600.0;
+  spec.scheme = "Spray&Wait";
+  spec.runs = 2;
+  return run_experiment(spec);
+}
+
+TEST(ResultIo, SingleResultContainsAllSections) {
+  const std::string json = experiment_result_to_json(tiny_result());
+  for (const char* field :
+       {"\"scheme\":\"Spray&Wait\"", "\"runs\":2", "\"sample_times_s\":",
+        "\"point_mean\":", "\"point_ci95\":", "\"aspect_mean\":",
+        "\"delivered_mean\":", "\"final\":"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ResultIo, ComparisonWrapsResultsArray) {
+  const ExperimentResult r = tiny_result();
+  const std::vector<ExperimentResult> results{r, r};
+  const std::string json = comparison_to_json(results);
+  EXPECT_EQ(json.rfind("{\"results\":[", 0), 0u);
+  // Two scheme entries.
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"scheme\"", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(ResultIo, WritesFile) {
+  const ExperimentResult r = tiny_result();
+  const std::string path = ::testing::TempDir() + "/photodtn_results.json";
+  ASSERT_TRUE(write_comparison_json(path, std::vector<ExperimentResult>{r}));
+  std::ifstream f(path);
+  std::string contents((std::istreambuf_iterator<char>(f)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("\"results\""), std::string::npos);
+  EXPECT_FALSE(write_comparison_json("/nonexistent/dir/x.json",
+                                     std::vector<ExperimentResult>{r}));
+}
+
+}  // namespace
+}  // namespace photodtn

@@ -1,0 +1,47 @@
+#include "test_util.h"
+
+namespace photodtn::test {
+
+namespace {
+PhotoId g_next_id = 1;
+}
+
+void reset_photo_ids(PhotoId next) { g_next_id = next; }
+
+PhotoMeta make_photo(double x, double y, double orientation_deg, double range,
+                     double fov_deg, PhotoId id, NodeId taken_by, std::uint64_t size,
+                     double taken_at) {
+  PhotoMeta p;
+  p.id = id == 0 ? g_next_id++ : id;
+  p.taken_by = taken_by;
+  p.location = {x, y};
+  p.range = range;
+  p.fov = deg_to_rad(fov_deg);
+  p.orientation = deg_to_rad(orientation_deg);
+  p.size_bytes = size;
+  p.taken_at = taken_at;
+  return p;
+}
+
+PointOfInterest make_poi(double x, double y, std::int32_t id, double weight) {
+  PointOfInterest poi;
+  poi.id = id;
+  poi.location = {x, y};
+  poi.weight = weight;
+  return poi;
+}
+
+PhotoMeta photo_viewing(const PointOfInterest& poi, double from_direction_deg,
+                        double dist, double fov_deg, double range) {
+  const double dir = deg_to_rad(from_direction_deg);
+  const Vec2 cam = poi.location + Vec2::from_heading(dir) * dist;
+  // The camera looks back toward the PoI: opposite of `dir`.
+  const double look = rad_to_deg(normalize_angle(dir + std::numbers::pi));
+  return make_photo(cam.x, cam.y, look, range, fov_deg);
+}
+
+CoverageModel single_poi_model(double theta_deg, double weight) {
+  return CoverageModel{{make_poi(0.0, 0.0, 0, weight)}, deg_to_rad(theta_deg)};
+}
+
+}  // namespace photodtn::test

@@ -1,0 +1,36 @@
+// Shared builders for tests: compact ways to make photos, PoIs, traces and
+// small simulations with known geometry.
+#pragma once
+
+#include <vector>
+
+#include "coverage/coverage_model.h"
+#include "coverage/photo.h"
+#include "coverage/poi.h"
+#include "geometry/angle.h"
+#include "trace/contact_trace.h"
+
+namespace photodtn::test {
+
+/// A photo at (x, y) looking along `orientation_deg` with the given range
+/// and field-of-view (degrees). Ids auto-increment unless specified.
+PhotoMeta make_photo(double x, double y, double orientation_deg, double range = 200.0,
+                     double fov_deg = 60.0, PhotoId id = 0, NodeId taken_by = 1,
+                     std::uint64_t size = 4'000'000, double taken_at = 0.0);
+
+/// Resets the auto-increment id counter (call in SetUp when ids matter).
+void reset_photo_ids(PhotoId next = 1);
+
+/// A PoI at (x, y) with the given id/weight.
+PointOfInterest make_poi(double x, double y, std::int32_t id = 0, double weight = 1.0);
+
+/// A photo placed `dist` meters from `poi` in compass direction
+/// `from_direction_deg` (0 = east of the PoI), looking straight at the PoI.
+/// Such a photo covers the PoI's aspect arc centered at `from_direction_deg`.
+PhotoMeta photo_viewing(const PointOfInterest& poi, double from_direction_deg,
+                        double dist = 100.0, double fov_deg = 60.0, double range = 200.0);
+
+/// Model over a single PoI at the origin with theta (degrees).
+CoverageModel single_poi_model(double theta_deg = 30.0, double weight = 1.0);
+
+}  // namespace photodtn::test

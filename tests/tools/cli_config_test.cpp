@@ -1,0 +1,92 @@
+#include "cli_config.h"
+
+#include <gtest/gtest.h>
+
+#include "geometry/angle.h"
+
+namespace photodtn::cli {
+namespace {
+
+Args parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"photodtn_cli"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return Args::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliConfig, DefaultsMatchScaledMit) {
+  const Args a = parse({"simulate"});
+  const ScenarioConfig sc = scenario_from(a);
+  EXPECT_EQ(sc.trace.num_participants, 29);  // 97 * 0.3
+  EXPECT_NEAR(sc.trace.duration_s, 90.0 * 3600.0, 1.0);
+  EXPECT_NEAR(sc.photo_rate_per_hour, 75.0, 1e-9);
+  EXPECT_EQ(sc.num_pois, 250u);
+}
+
+TEST(CliConfig, CambridgePreset) {
+  const Args a = parse({"simulate", "--trace", "cambridge", "--scale", "1.0"});
+  const ScenarioConfig sc = scenario_from(a);
+  EXPECT_EQ(sc.trace.num_participants, 54);
+  EXPECT_NEAR(sc.trace.duration_s, 200.0 * 3600.0, 1.0);
+}
+
+TEST(CliConfig, ExplicitOverridesScaleCorrectly) {
+  const Args a = parse({"simulate", "--scale", "0.5", "--rate", "100",
+                        "--storage-gb", "1.2", "--pois", "80", "--theta-deg", "40"});
+  const ScenarioConfig sc = scenario_from(a);
+  EXPECT_NEAR(sc.photo_rate_per_hour, 50.0, 1e-9);  // 100 * 0.5
+  EXPECT_EQ(sc.sim.node_storage_bytes, static_cast<std::uint64_t>(1.2e9 * 0.5));
+  EXPECT_EQ(sc.num_pois, 80u);
+  EXPECT_NEAR(sc.effective_angle, deg_to_rad(40.0), 1e-12);
+}
+
+TEST(CliConfig, HoursOverrideIsUnscaled) {
+  const Args a = parse({"simulate", "--hours", "24"});
+  const ScenarioConfig sc = scenario_from(a);
+  EXPECT_NEAR(sc.trace.duration_s, 24.0 * 3600.0, 1e-9);
+}
+
+TEST(CliConfig, RejectsBadValues) {
+  EXPECT_THROW(scenario_from(parse({"simulate", "--trace", "haggle"})),
+               std::runtime_error);
+  EXPECT_THROW(scenario_from(parse({"simulate", "--scale", "0"})), std::runtime_error);
+  EXPECT_THROW(scenario_from(parse({"simulate", "--scale", "1.5"})), std::runtime_error);
+  EXPECT_THROW(scenario_from(parse({"simulate", "--p-thld", "1.5"})),
+               std::runtime_error);
+  EXPECT_THROW(scenario_from(parse({"simulate", "--hours", "-3"})), std::runtime_error);
+}
+
+TEST(CliConfig, SpecCarriesRunsSeedAndCap) {
+  const Args a = parse({"simulate", "--runs", "7", "--seed", "42",
+                        "--max-contact-s", "45", "--trace-file", "t.csv"});
+  const ExperimentSpec spec = spec_from(a);
+  EXPECT_EQ(spec.runs, 7u);
+  EXPECT_EQ(spec.seed_base, 42u);
+  ASSERT_TRUE(spec.max_contact_duration_s.has_value());
+  EXPECT_DOUBLE_EQ(*spec.max_contact_duration_s, 45.0);
+  EXPECT_EQ(spec.trace_file, "t.csv");
+  EXPECT_EQ(spec.photo_options.location_hotspots, 0u);
+}
+
+TEST(CliConfig, CalibratedFlagAppliesSubstitute) {
+  const ExperimentSpec spec = spec_from(parse({"simulate", "--calibrated"}));
+  EXPECT_GT(spec.photo_options.location_hotspots, 0u);
+  EXPECT_GT(spec.scenario.trace.mean_on_s, 0.0);
+}
+
+TEST(CliConfig, SchemeListParsing) {
+  EXPECT_EQ(schemes_from(parse({"simulate"})),
+            (std::vector<std::string>{"OurScheme", "Spray&Wait"}));
+  EXPECT_EQ(schemes_from(parse({"simulate", "--scheme", "Epidemic,PROPHET"})),
+            (std::vector<std::string>{"Epidemic", "PROPHET"}));
+  EXPECT_THROW(schemes_from(parse({"simulate", "--scheme", ","})), std::runtime_error);
+}
+
+TEST(CliConfig, UnknownOptionRejected) {
+  const Args a = parse({"simulate", "--runz", "3"});
+  (void)spec_from(a);
+  (void)schemes_from(a);
+  EXPECT_THROW(reject_unknown_options(a), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace photodtn::cli

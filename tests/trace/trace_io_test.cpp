@@ -1,0 +1,73 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/synthetic_trace.h"
+
+namespace photodtn {
+namespace {
+
+ContactTrace sample() {
+  return ContactTrace{{{10.5, 60.0, 0, 1}, {20.25, 120.0, 1, 2}}, 3, 500.0};
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  std::stringstream ss;
+  write_trace(ss, sample());
+  const ContactTrace back = read_trace(ss);
+  EXPECT_EQ(back.num_nodes(), 3);
+  EXPECT_DOUBLE_EQ(back.horizon(), 500.0);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.contacts()[0], (Contact{10.5, 60.0, 0, 1}));
+  EXPECT_EQ(back.contacts()[1], (Contact{20.25, 120.0, 1, 2}));
+}
+
+TEST(TraceIo, RejectsEmptyInput) {
+  std::stringstream ss;
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMissingHeaderFields) {
+  std::stringstream ss("# photodtn-trace v1 horizon=10\nstart,duration,a,b\n");
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMalformedRow) {
+  std::stringstream ss(
+      "# photodtn-trace v1 nodes=3 horizon=10\nstart,duration,a,b\nnot-a-number\n");
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  std::stringstream ss(
+      "# photodtn-trace v1 nodes=3 horizon=10\nstart,duration,a,b\n"
+      "# comment\n\n1.0,2.0,0,1\n");
+  const ContactTrace t = read_trace(ss);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/photodtn_trace_test.csv";
+  ASSERT_TRUE(write_trace_file(path, sample()));
+  const ContactTrace back = read_trace_file(path);
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_THROW(read_trace_file("/nonexistent/nope.csv"), std::runtime_error);
+}
+
+TEST(TraceIo, SyntheticTraceSurvivesRoundTrip) {
+  SyntheticTraceConfig cfg;
+  cfg.num_participants = 8;
+  cfg.duration_s = 10.0 * 3600.0;
+  cfg.base_pair_rate_per_hour = 0.2;
+  const ContactTrace t = generate_synthetic_trace(cfg);
+  std::stringstream ss;
+  write_trace(ss, t);
+  const ContactTrace back = read_trace(ss);
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(back.contacts()[i], t.contacts()[i]);
+}
+
+}  // namespace
+}  // namespace photodtn

@@ -1,0 +1,72 @@
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace photodtn {
+namespace {
+
+Args parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return Args::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, CommandAndPositionals) {
+  const Args a = parse({"trace-stats", "file1.csv", "file2.csv"});
+  EXPECT_EQ(a.command(), "trace-stats");
+  ASSERT_EQ(a.positionals().size(), 2u);
+  EXPECT_EQ(a.positionals()[0], "file1.csv");
+}
+
+TEST(Args, KeyValueOptions) {
+  const Args a = parse({"simulate", "--runs", "5", "--scheme", "OurScheme"});
+  EXPECT_EQ(a.get_int("runs", 1), 5);
+  EXPECT_EQ(a.get("scheme", ""), "OurScheme");
+  EXPECT_EQ(a.get("missing", "dflt"), "dflt");
+}
+
+TEST(Args, BooleanFlags) {
+  const Args a = parse({"simulate", "--verbose", "--runs", "2"});
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_EQ(a.get("verbose", ""), "true");
+  EXPECT_EQ(a.get_int("runs", 0), 2);
+}
+
+TEST(Args, TrailingFlagIsBoolean) {
+  const Args a = parse({"simulate", "--dry-run"});
+  EXPECT_TRUE(a.has("dry-run"));
+}
+
+TEST(Args, TypedGettersValidate) {
+  const Args a = parse({"simulate", "--runs", "abc", "--scale", "0.5x"});
+  EXPECT_THROW(a.get_int("runs", 1), std::exception);
+  EXPECT_THROW(a.get_double("scale", 1.0), std::exception);
+}
+
+TEST(Args, DoubleParsing) {
+  const Args a = parse({"simulate", "--scale", "0.25"});
+  EXPECT_DOUBLE_EQ(a.get_double("scale", 1.0), 0.25);
+}
+
+TEST(Args, UnusedKeysDetectTypos) {
+  const Args a = parse({"simulate", "--runs", "3", "--typo-flag", "x"});
+  (void)a.get_int("runs", 1);
+  const auto unused = a.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo-flag");
+}
+
+TEST(Args, EmptyOptionNameRejected) {
+  EXPECT_THROW(parse({"cmd", "--"}), std::runtime_error);
+}
+
+TEST(Args, NoArguments) {
+  const Args a = parse({});
+  EXPECT_TRUE(a.command().empty());
+  EXPECT_TRUE(a.positionals().empty());
+}
+
+}  // namespace
+}  // namespace photodtn

@@ -1,0 +1,39 @@
+#include "util/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace photodtn {
+namespace {
+
+TEST(Env, FallbackWhenUnset) {
+  unsetenv("PHOTODTN_TEST_UNSET");
+  EXPECT_EQ(env_int("PHOTODTN_TEST_UNSET", 7), 7);
+  EXPECT_DOUBLE_EQ(env_double("PHOTODTN_TEST_UNSET", 2.5), 2.5);
+}
+
+TEST(Env, ParsesValidValues) {
+  setenv("PHOTODTN_TEST_INT", "123", 1);
+  setenv("PHOTODTN_TEST_DBL", "0.75", 1);
+  EXPECT_EQ(env_int("PHOTODTN_TEST_INT", 0), 123);
+  EXPECT_DOUBLE_EQ(env_double("PHOTODTN_TEST_DBL", 0.0), 0.75);
+  unsetenv("PHOTODTN_TEST_INT");
+  unsetenv("PHOTODTN_TEST_DBL");
+}
+
+TEST(Env, FallbackOnGarbage) {
+  setenv("PHOTODTN_TEST_BAD", "12abc", 1);
+  EXPECT_EQ(env_int("PHOTODTN_TEST_BAD", -1), -1);
+  EXPECT_DOUBLE_EQ(env_double("PHOTODTN_TEST_BAD", -2.0), -2.0);
+  unsetenv("PHOTODTN_TEST_BAD");
+}
+
+TEST(Env, EmptyStringFallsBack) {
+  setenv("PHOTODTN_TEST_EMPTY", "", 1);
+  EXPECT_EQ(env_int("PHOTODTN_TEST_EMPTY", 9), 9);
+  unsetenv("PHOTODTN_TEST_EMPTY");
+}
+
+}  // namespace
+}  // namespace photodtn

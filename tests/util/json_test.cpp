@@ -1,0 +1,78 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace photodtn {
+namespace {
+
+TEST(Json, EmptyObjectAndArray) {
+  JsonWriter w;
+  w.begin_object().end_object();
+  EXPECT_EQ(w.str(), "{}");
+  JsonWriter a;
+  a.begin_array().end_array();
+  EXPECT_EQ(a.str(), "[]");
+}
+
+TEST(Json, KeyValuePairsWithCommas) {
+  JsonWriter w;
+  w.begin_object().kv("a", std::int64_t{1}).kv("b", std::string("x")).end_object();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":\"x\"}");
+}
+
+TEST(Json, NestedContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("list").begin_array().value(std::int64_t{1}).value(std::int64_t{2}).end_array();
+  w.key("obj").begin_object().kv("c", true).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"list\":[1,2],\"obj\":{\"c\":true}}");
+}
+
+TEST(Json, StringEscaping) {
+  JsonWriter w;
+  w.begin_object().kv("s", std::string("a\"b\\c\nd\te")).end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(Json, ControlCharactersBecomeUnicodeEscapes) {
+  JsonWriter w;
+  w.begin_object().kv("s", std::string("x\x01y")).end_object();
+  EXPECT_NE(w.str().find("\\u0001"), std::string::npos);
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array()
+      .value(std::nan(""))
+      .value(std::numeric_limits<double>::infinity())
+      .value(1.5)
+      .end_array();
+  EXPECT_EQ(w.str(), "[null,null,1.5]");
+}
+
+TEST(Json, DoubleRoundTripPrecision) {
+  JsonWriter w;
+  const double v = 0.1 + 0.2;
+  w.begin_array().value(v).end_array();
+  const std::string s = w.str();
+  const double back = std::stod(s.substr(1, s.size() - 2));
+  EXPECT_EQ(back, v);
+}
+
+TEST(Json, KvArrayHelper) {
+  JsonWriter w;
+  w.begin_object().kv_array("xs", {1.0, 2.5}).end_object();
+  EXPECT_EQ(w.str(), "{\"xs\":[1,2.5]}");
+}
+
+TEST(Json, BoolAndNull) {
+  JsonWriter w;
+  w.begin_array().value(false).null().value(true).end_array();
+  EXPECT_EQ(w.str(), "[false,null,true]");
+}
+
+}  // namespace
+}  // namespace photodtn

@@ -1,0 +1,138 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace photodtn {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ZeroSeedIsWellMixed) {
+  Rng r(0);
+  // A poorly seeded xoshiro (all-zero state) returns zeros forever.
+  EXPECT_NE(r.next(), 0u);
+  EXPECT_NE(r.next(), r.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllValuesInclusively) {
+  Rng r(11);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 6000; ++i) {
+    const auto v = r.uniform_int(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (const int c : counts) EXPECT_GT(c, 800) << "roughly uniform";
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(13);
+  const double lambda = 0.25;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.exponential(lambda);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 1.0 / lambda, 0.15);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, BernoulliEdgesAndRate) {
+  Rng r(19);
+  EXPECT_FALSE(r.bernoulli(0.0));
+  EXPECT_TRUE(r.bernoulli(1.0));
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelatedAndDeterministic) {
+  Rng parent1(5), parent2(5);
+  Rng a1 = parent1.split("alpha");
+  Rng a2 = parent2.split("alpha");
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a1.next(), a2.next());
+
+  Rng parent3(5);
+  Rng b = parent3.split("beta");
+  Rng a3 = Rng(5).split("alpha");
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a3.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng r(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  r.shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(Rng, HashTagDistinguishesStrings) {
+  EXPECT_NE(hash_tag("a"), hash_tag("b"));
+  EXPECT_NE(hash_tag(""), hash_tag("a"));
+  EXPECT_EQ(hash_tag("photos"), hash_tag("photos"));
+}
+
+}  // namespace
+}  // namespace photodtn

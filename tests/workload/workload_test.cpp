@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "geometry/angle.h"
+#include "test_util.h"
+#include "workload/photo_gen.h"
+#include "workload/poi_gen.h"
+#include "workload/scenario.h"
+#include "workload/sensor_model.h"
+
+namespace photodtn {
+namespace {
+
+TEST(PoiGen, UniformInsideRegionWithUnitWeights) {
+  Rng rng(1);
+  const PoiList pois = generate_uniform_pois(250, 6300.0, rng);
+  ASSERT_EQ(pois.size(), 250u);
+  for (const auto& p : pois) {
+    EXPECT_GE(p.location.x, 0.0);
+    EXPECT_LE(p.location.x, 6300.0);
+    EXPECT_GE(p.location.y, 0.0);
+    EXPECT_LE(p.location.y, 6300.0);
+    EXPECT_DOUBLE_EQ(p.weight, 1.0);
+  }
+  // Ids are sequential.
+  EXPECT_EQ(pois.front().id, 0);
+  EXPECT_EQ(pois.back().id, 249);
+}
+
+TEST(PoiGen, ClusteredPoisAreDenserNearHubs) {
+  Rng rng(2);
+  const PoiList pois = generate_clustered_pois(200, 6300.0, 3, 150.0, rng);
+  ASSERT_EQ(pois.size(), 200u);
+  // Mean nearest-neighbor distance must be far below the uniform baseline.
+  double nn_sum = 0.0;
+  for (const auto& a : pois) {
+    double best = 1e18;
+    for (const auto& b : pois) {
+      if (a.id == b.id) continue;
+      best = std::min(best, a.location.distance_to(b.location));
+    }
+    nn_sum += best;
+  }
+  Rng rng2(3);
+  const PoiList uniform = generate_uniform_pois(200, 6300.0, rng2);
+  double nn_uniform = 0.0;
+  for (const auto& a : uniform) {
+    double best = 1e18;
+    for (const auto& b : uniform) {
+      if (a.id == b.id) continue;
+      best = std::min(best, a.location.distance_to(b.location));
+    }
+    nn_uniform += best;
+  }
+  EXPECT_LT(nn_sum, 0.5 * nn_uniform);
+}
+
+TEST(PoiGen, RandomizeWeights) {
+  Rng rng(4);
+  PoiList pois = generate_uniform_pois(50, 1000.0, rng);
+  randomize_weights(pois, 1.0, 5.0, rng);
+  for (const auto& p : pois) {
+    EXPECT_GE(p.weight, 1.0);
+    EXPECT_LE(p.weight, 5.0);
+  }
+}
+
+TEST(PhotoGen, RateAndAssignment) {
+  const ScenarioConfig cfg = ScenarioConfig::mit(1);
+  Rng rng(5);
+  const PoiList pois = generate_uniform_pois(cfg.num_pois, cfg.region_m, rng);
+  PhotoGenerator gen(cfg, pois);
+  Rng ev_rng(6);
+  const double horizon = 10.0 * 3600.0;
+  const auto events = gen.generate(horizon, 97, ev_rng);
+  // 250 photos/hour for 10 hours: ~2500 events.
+  EXPECT_NEAR(static_cast<double>(events.size()), 2500.0, 250.0);
+  for (const auto& e : events) {
+    EXPECT_GE(e.node, 1);
+    EXPECT_LE(e.node, 97);
+    EXPECT_EQ(e.photo.taken_by, e.node);
+    EXPECT_DOUBLE_EQ(e.photo.taken_at, e.time);
+    EXPECT_EQ(e.photo.size_bytes, cfg.photo_size_bytes);
+    EXPECT_GE(e.photo.fov, cfg.fov_min);
+    EXPECT_LE(e.photo.fov, cfg.fov_max);
+    // Range follows r = c cot(fov/2) with c in [50, 100].
+    const double c = e.photo.range * std::tan(e.photo.fov / 2.0);
+    EXPECT_GE(c, cfg.range_coeff_min_m - 1e-6);
+    EXPECT_LE(c, cfg.range_coeff_max_m + 1e-6);
+  }
+  // Ids unique and nonzero.
+  std::set<PhotoId> ids;
+  for (const auto& e : events) ids.insert(e.photo.id);
+  EXPECT_EQ(ids.size(), events.size());
+  EXPECT_EQ(ids.count(0), 0u);
+}
+
+TEST(PhotoGen, AimedPhotosPointAtPois) {
+  ScenarioConfig cfg = ScenarioConfig::mit(1);
+  cfg.num_pois = 50;
+  Rng rng(7);
+  const PoiList pois = generate_uniform_pois(cfg.num_pois, cfg.region_m, rng);
+  PhotoGenOptions opts;
+  opts.aimed_fraction = 1.0;
+  opts.aim_search_radius_m = 1e9;  // always find a target
+  PhotoGenerator gen(cfg, pois, opts);
+  Rng ev_rng(8);
+  const auto events = gen.generate(3600.0, 10, ev_rng);
+  ASSERT_GT(events.size(), 100u);
+  // Aimed photos have their optical axis within ~5 degrees of some PoI.
+  std::size_t aligned = 0;
+  for (const auto& e : events) {
+    for (const auto& poi : pois) {
+      const double heading = (poi.location - e.photo.location).heading();
+      if (angle_distance(heading, e.photo.orientation) <= deg_to_rad(5.1)) {
+        ++aligned;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(aligned, events.size());
+}
+
+TEST(PhotoGen, DeterministicForSeed) {
+  const ScenarioConfig cfg = ScenarioConfig::mit(1);
+  Rng rng(9);
+  const PoiList pois = generate_uniform_pois(10, cfg.region_m, rng);
+  PhotoGenerator g1(cfg, pois), g2(cfg, pois);
+  Rng r1(42), r2(42);
+  const auto e1 = g1.generate(3600.0, 5, r1);
+  const auto e2 = g2.generate(3600.0, 5, r2);
+  ASSERT_EQ(e1.size(), e2.size());
+  for (std::size_t i = 0; i < e1.size(); ++i) EXPECT_EQ(e1[i].photo, e2[i].photo);
+}
+
+TEST(PhotoGen, QualityBandsFollowLowQualityFraction) {
+  ScenarioConfig cfg = ScenarioConfig::mit(1);
+  Rng rng(12);
+  const PoiList pois = generate_uniform_pois(10, cfg.region_m, rng);
+  PhotoGenOptions opts;
+  opts.low_quality_fraction = 0.4;
+  PhotoGenerator gen(cfg, pois, opts);
+  Rng ev_rng(13);
+  const auto events = gen.generate(20.0 * 3600.0, 10, ev_rng);
+  ASSERT_GT(events.size(), 500u);
+  std::size_t low = 0;
+  for (const auto& e : events) {
+    EXPECT_GE(e.photo.quality, 0.0);
+    EXPECT_LE(e.photo.quality, 1.0);
+    if (e.photo.quality < 0.5) ++low;
+  }
+  const double frac = static_cast<double>(low) / static_cast<double>(events.size());
+  EXPECT_NEAR(frac, 0.4, 0.06);
+}
+
+TEST(PhotoGen, DefaultQualityIsAlwaysAcceptable) {
+  ScenarioConfig cfg = ScenarioConfig::mit(1);
+  Rng rng(14);
+  const PoiList pois = generate_uniform_pois(10, cfg.region_m, rng);
+  PhotoGenerator gen(cfg, pois);
+  Rng ev_rng(15);
+  for (const auto& e : gen.generate(5.0 * 3600.0, 5, ev_rng))
+    EXPECT_GE(e.photo.quality, 0.5);
+}
+
+TEST(PhotoGen, BurstsClusterInTimeSpaceAndHeading) {
+  ScenarioConfig cfg = ScenarioConfig::mit(1);
+  Rng rng(21);
+  const PoiList pois = generate_uniform_pois(10, cfg.region_m, rng);
+  PhotoGenOptions opts;
+  opts.burst_size = 4;
+  opts.burst_spread_s = 20.0;
+  opts.burst_location_jitter_m = 5.0;
+  PhotoGenerator gen(cfg, pois, opts);
+  Rng ev_rng(22);
+  const auto events = gen.generate(40.0 * 3600.0, 10, ev_rng);
+  ASSERT_GT(events.size(), 100u);
+  // Events are time-sorted.
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LE(events[i - 1].time, events[i].time);
+  // A photo taken within 20 s of another by the same node should be nearby:
+  // count pairs and verify the overwhelming majority cluster.
+  std::size_t close_pairs = 0, near_pairs = 0;
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    for (std::size_t j = i; j-- > 0;) {
+      if (events[i].time - events[j].time > 25.0) break;
+      if (events[i].node != events[j].node) continue;
+      ++close_pairs;
+      if (events[i].photo.location.distance_to(events[j].photo.location) < 50.0)
+        ++near_pairs;
+    }
+  }
+  ASSERT_GT(close_pairs, 50u);
+  // Same-node close-in-time pairs are nearly always burst-mates (a small
+  // minority are coincidental independent bursts at distinct spots).
+  EXPECT_GT(static_cast<double>(near_pairs) / static_cast<double>(close_pairs), 0.8);
+}
+
+TEST(PhotoGen, BurstModePreservesTotalRate) {
+  ScenarioConfig cfg = ScenarioConfig::mit(1);
+  cfg.photo_rate_per_hour = 120.0;
+  Rng rng(23);
+  const PoiList pois = generate_uniform_pois(10, cfg.region_m, rng);
+  PhotoGenOptions opts;
+  opts.burst_size = 5;
+  PhotoGenerator gen(cfg, pois, opts);
+  Rng ev_rng(24);
+  const double horizon = 100.0 * 3600.0;
+  const auto events = gen.generate(horizon, 10, ev_rng);
+  EXPECT_NEAR(static_cast<double>(events.size()), 120.0 * 100.0, 120.0 * 100.0 * 0.15);
+}
+
+TEST(PhotoGen, HotspotPlacementClustersPhotos) {
+  ScenarioConfig cfg = ScenarioConfig::mit(1);
+  Rng rng(31);
+  const PoiList pois = generate_uniform_pois(10, cfg.region_m, rng);
+  PhotoGenOptions opts;
+  opts.location_hotspots = 5;
+  opts.hotspot_sigma_m = 150.0;
+  PhotoGenerator gen(cfg, pois, opts);
+  Rng ev_rng(32);
+  const auto events = gen.generate(40.0 * 3600.0, 20, ev_rng);
+  ASSERT_GT(events.size(), 500u);
+  ASSERT_EQ(gen.hotspots().size(), 5u);
+  // Nearly all photos within 4 sigma of some hotspot (clamping at the
+  // region border can stretch a few).
+  std::size_t near = 0;
+  for (const auto& e : events) {
+    for (const Vec2 h : gen.hotspots()) {
+      if (e.photo.location.distance_to(h) <= 4.0 * 150.0) {
+        ++near;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(near) / static_cast<double>(events.size()), 0.95);
+}
+
+TEST(PhotoGen, CalibrationSetsHotspotsAndDutyCycle) {
+  ScenarioConfig sc = ScenarioConfig::mit(1);
+  PhotoGenOptions po;
+  apply_mit_calibration(sc, po);
+  EXPECT_GT(sc.trace.mean_on_s, 0.0);
+  EXPECT_GT(sc.trace.mean_off_s, 0.0);
+  EXPECT_GT(po.location_hotspots, 0u);
+}
+
+TEST(SyntheticTraceDuty, DutyCyclingThinsContacts) {
+  SyntheticTraceConfig on_cfg;
+  on_cfg.num_participants = 30;
+  on_cfg.duration_s = 100.0 * 3600.0;
+  on_cfg.base_pair_rate_per_hour = 0.05;
+  on_cfg.seed = 5;
+  SyntheticTraceConfig duty_cfg = on_cfg;
+  duty_cfg.mean_on_s = 8.0 * 3600.0;
+  duty_cfg.mean_off_s = 16.0 * 3600.0;  // duty 1/3: both-on prob ~1/9
+  const auto full = generate_synthetic_trace(on_cfg);
+  const auto thinned = generate_synthetic_trace(duty_cfg);
+  ASSERT_GT(full.size(), 200u);
+  const double ratio =
+      static_cast<double>(thinned.size()) / static_cast<double>(full.size());
+  EXPECT_LT(ratio, 0.25);
+  EXPECT_GT(ratio, 0.02);
+}
+
+TEST(SyntheticTraceDuty, GatewayContactsOnlyNeedTheGatewayOn) {
+  // The command center is always on: the thinning factor for gateway
+  // contacts is ~duty, not ~duty^2. With duty 0.5 a good share survives.
+  SyntheticTraceConfig cfg;
+  cfg.num_participants = 20;
+  cfg.duration_s = 300.0 * 3600.0;
+  cfg.base_pair_rate_per_hour = 0.0;  // isolate gateway contacts
+  cfg.gateway_fraction = 0.5;
+  cfg.gateway_mean_interval_s = 3600.0;
+  cfg.mean_on_s = 6.0 * 3600.0;
+  cfg.mean_off_s = 6.0 * 3600.0;
+  cfg.seed = 6;
+  const auto trace = generate_synthetic_trace(cfg);
+  const TraceStats s = trace.stats();
+  EXPECT_EQ(s.contacts, s.command_center_contacts);
+  // ~10 gateways x 300 contacts x duty 0.5 ~ 1500; assert the right order.
+  EXPECT_GT(s.command_center_contacts, 800u);
+  EXPECT_LT(s.command_center_contacts, 2200u);
+}
+
+TEST(PhotoGen, MobilityCoupledPhotosAreTakenWhereThePhotographerIs) {
+  RwpConfig mob_cfg;
+  mob_cfg.num_participants = 5;
+  mob_cfg.region_m = 1000.0;
+  mob_cfg.duration_s = 6.0 * 3600.0;
+  mob_cfg.seed = 3;
+  const RwpMobility mobility(mob_cfg);
+  ScenarioConfig cfg = ScenarioConfig::mit(1);
+  cfg.region_m = 1000.0;
+  Rng rng(41);
+  const PoiList pois = generate_uniform_pois(5, 1000.0, rng);
+  PhotoGenOptions opts;
+  opts.mobility = &mobility;
+  PhotoGenerator gen(cfg, pois, opts);
+  Rng ev_rng(42);
+  const auto events = gen.generate(mob_cfg.duration_s, 5, ev_rng);
+  ASSERT_GT(events.size(), 20u);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.photo.location, mobility.position(e.node, e.time))
+        << "photo not taken at the photographer's position";
+  }
+}
+
+TEST(SensorModel, NoiseStaysWithinSpec) {
+  Rng rng(10);
+  const SensorNoise noise;
+  const PhotoMeta truth = test::make_photo(100.0, 100.0, 90.0);
+  for (int i = 0; i < 500; ++i) {
+    const PhotoMeta noisy = apply_sensor_noise(truth, noise, rng);
+    EXPECT_EQ(noisy.id, truth.id);
+    EXPECT_EQ(noisy.size_bytes, truth.size_bytes);
+    EXPECT_LE(angle_distance(noisy.orientation, truth.orientation),
+              deg_to_rad(5.0) + 1e-9);
+    // GPS error is unbounded in principle; 6 sigma is a sane envelope.
+    EXPECT_LE(noisy.location.distance_to(truth.location), 6.0 * 4.0 * 1.5);
+  }
+}
+
+TEST(SensorModel, ZeroNoiseIsIdentity) {
+  Rng rng(11);
+  SensorNoise none;
+  none.gps_sigma_m = 0.0;
+  none.orientation_max_err_rad = 0.0;
+  none.fov_rel_sigma = 0.0;
+  const PhotoMeta truth = test::make_photo(10.0, 20.0, 30.0);
+  EXPECT_EQ(apply_sensor_noise(truth, none, rng), truth);
+}
+
+TEST(Scenario, TableIPresets) {
+  const ScenarioConfig mit = ScenarioConfig::mit(1);
+  EXPECT_DOUBLE_EQ(mit.region_m, 6300.0);
+  EXPECT_EQ(mit.num_pois, 250u);
+  EXPECT_NEAR(mit.effective_angle, deg_to_rad(30.0), 1e-12);
+  EXPECT_DOUBLE_EQ(mit.photo_rate_per_hour, 250.0);
+  EXPECT_EQ(mit.photo_size_bytes, 4'000'000u);
+  EXPECT_DOUBLE_EQ(mit.p_thld, 0.8);
+  EXPECT_EQ(mit.trace.num_participants, 97);
+  EXPECT_DOUBLE_EQ(mit.sim.prophet.p_init, 0.75);
+  EXPECT_DOUBLE_EQ(mit.sim.prophet.beta, 0.25);
+  EXPECT_DOUBLE_EQ(mit.sim.prophet.gamma, 0.98);
+  EXPECT_EQ(mit.sim.node_storage_bytes, 600'000'000u);
+
+  const ScenarioConfig cam = ScenarioConfig::cambridge(1);
+  EXPECT_EQ(cam.trace.num_participants, 54);
+  EXPECT_DOUBLE_EQ(cam.trace.duration_s, 200.0 * 3600.0);
+}
+
+}  // namespace
+}  // namespace photodtn

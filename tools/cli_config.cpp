@@ -1,0 +1,77 @@
+#include "cli_config.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "geometry/angle.h"
+#include "workload/photo_gen.h"
+
+namespace photodtn::cli {
+
+ScenarioConfig scenario_from(const Args& args) {
+  const std::string trace = args.get("trace", "mit");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (trace != "mit" && trace != "cambridge")
+    throw std::runtime_error("--trace must be 'mit' or 'cambridge'");
+  ScenarioConfig sc = trace == "cambridge" ? ScenarioConfig::cambridge(seed)
+                                           : ScenarioConfig::mit(seed);
+  const double scale = args.get_double("scale", 0.3);
+  if (scale <= 0.0 || scale > 1.0)
+    throw std::runtime_error("--scale must be in (0, 1]");
+  sc.trace.num_participants =
+      std::max<NodeId>(10, static_cast<NodeId>(sc.trace.num_participants * scale));
+  sc.trace.duration_s *= scale;
+  sc.photo_rate_per_hour *= scale;
+  sc.sim.node_storage_bytes =
+      static_cast<std::uint64_t>(static_cast<double>(sc.sim.node_storage_bytes) * scale);
+
+  sc.num_pois = static_cast<std::size_t>(
+      args.get_int("pois", static_cast<std::int64_t>(sc.num_pois)));
+  sc.effective_angle = deg_to_rad(args.get_double("theta-deg", 30.0));
+  sc.p_thld = args.get_double("p-thld", sc.p_thld);
+  if (sc.p_thld < 0.0 || sc.p_thld > 1.0)
+    throw std::runtime_error("--p-thld must be in [0, 1]");
+  if (args.has("rate")) sc.photo_rate_per_hour = args.get_double("rate", 0) * scale;
+  if (args.has("storage-gb"))
+    sc.sim.node_storage_bytes =
+        static_cast<std::uint64_t>(args.get_double("storage-gb", 0.6) * 1e9 * scale);
+  if (args.has("hours")) sc.trace.duration_s = args.get_double("hours", 0) * 3600.0;
+  if (sc.trace.duration_s <= 0.0) throw std::runtime_error("--hours must be positive");
+  sc.sim.sample_interval_s = std::max(3600.0, sc.trace.duration_s / 20.0);
+  return sc;
+}
+
+ExperimentSpec spec_from(const Args& args) {
+  ExperimentSpec spec;
+  spec.scenario = scenario_from(args);
+  spec.runs =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("runs", 3)));
+  spec.seed_base = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (args.has("max-contact-s")) {
+    const double cap = args.get_double("max-contact-s", 600.0);
+    if (cap < 0.0) throw std::runtime_error("--max-contact-s must be >= 0");
+    spec.max_contact_duration_s = cap;
+  }
+  spec.trace_file = args.get("trace-file", "");
+  if (args.has("calibrated") && args.get("calibrated", "true") != "false")
+    apply_mit_calibration(spec.scenario, spec.photo_options);
+  return spec;
+}
+
+std::vector<std::string> schemes_from(const Args& args) {
+  std::vector<std::string> schemes;
+  std::stringstream list(args.get("scheme", "OurScheme,Spray&Wait"));
+  std::string name;
+  while (std::getline(list, name, ','))
+    if (!name.empty()) schemes.push_back(name);
+  if (schemes.empty()) throw std::runtime_error("--scheme needs at least one name");
+  return schemes;
+}
+
+void reject_unknown_options(const Args& args) {
+  if (const auto unused = args.unused_keys(); !unused.empty())
+    throw std::runtime_error("unknown option --" + unused.front());
+}
+
+}  // namespace photodtn::cli

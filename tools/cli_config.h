@@ -1,0 +1,28 @@
+// Translates photodtn_cli command-line options into an ExperimentSpec.
+// Split from the binary so the option semantics are unit-testable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "util/args.h"
+
+namespace photodtn::cli {
+
+/// Builds the scenario from --trace/--scale/--pois/--theta-deg/--p-thld/
+/// --rate/--storage-gb/--hours/--seed. Throws std::runtime_error with a
+/// user-readable message on invalid values.
+ScenarioConfig scenario_from(const Args& args);
+
+/// Full simulate spec: scenario plus --runs/--seed/--max-contact-s/
+/// --trace-file/--calibrated.
+ExperimentSpec spec_from(const Args& args);
+
+/// Parses the --scheme comma list (default "OurScheme,Spray&Wait").
+std::vector<std::string> schemes_from(const Args& args);
+
+/// Throws if any provided option was never consumed (typo protection).
+void reject_unknown_options(const Args& args);
+
+}  // namespace photodtn::cli
