@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_demo"
+  "../bench/bench_fig3_demo.pdb"
+  "CMakeFiles/bench_fig3_demo.dir/bench_fig3_demo.cpp.o"
+  "CMakeFiles/bench_fig3_demo.dir/bench_fig3_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

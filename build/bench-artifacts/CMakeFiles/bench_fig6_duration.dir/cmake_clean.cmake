@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_duration"
+  "../bench/bench_fig6_duration.pdb"
+  "CMakeFiles/bench_fig6_duration.dir/bench_fig6_duration.cpp.o"
+  "CMakeFiles/bench_fig6_duration.dir/bench_fig6_duration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

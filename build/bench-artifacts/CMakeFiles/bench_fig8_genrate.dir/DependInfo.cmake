@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_genrate.cpp" "bench-artifacts/CMakeFiles/bench_fig8_genrate.dir/bench_fig8_genrate.cpp.o" "gcc" "bench-artifacts/CMakeFiles/bench_fig8_genrate.dir/bench_fig8_genrate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/photodtn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/photodtn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/photodtn_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/photodtn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/photodtn_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/photodtn_util.dir/DependInfo.cmake"
+  "/root/repo/build/bench-artifacts/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/selection/CMakeFiles/photodtn_selection.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtn/CMakeFiles/photodtn_dtn.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/photodtn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/photodtn_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/photodtn_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

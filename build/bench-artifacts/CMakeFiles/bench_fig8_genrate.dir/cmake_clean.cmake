@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_genrate"
+  "../bench/bench_fig8_genrate.pdb"
+  "CMakeFiles/bench_fig8_genrate.dir/bench_fig8_genrate.cpp.o"
+  "CMakeFiles/bench_fig8_genrate.dir/bench_fig8_genrate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_genrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battlefield_patrol.dir/battlefield_patrol.cpp.o"
+  "CMakeFiles/battlefield_patrol.dir/battlefield_patrol.cpp.o.d"
+  "battlefield_patrol"
+  "battlefield_patrol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battlefield_patrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

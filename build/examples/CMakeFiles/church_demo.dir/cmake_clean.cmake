@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/church_demo.dir/church_demo.cpp.o"
+  "CMakeFiles/church_demo.dir/church_demo.cpp.o.d"
+  "church_demo"
+  "church_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/church_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

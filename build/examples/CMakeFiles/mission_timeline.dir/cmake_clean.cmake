@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mission_timeline.dir/mission_timeline.cpp.o"
+  "CMakeFiles/mission_timeline.dir/mission_timeline.cpp.o.d"
+  "mission_timeline"
+  "mission_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mission_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

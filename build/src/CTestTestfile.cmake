@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geometry")
+subdirs("coverage")
+subdirs("trace")
+subdirs("routing")
+subdirs("dtn")
+subdirs("selection")
+subdirs("schemes")
+subdirs("workload")
+subdirs("sim")
+subdirs("viz")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photodtn_core.dir/photocrowd.cpp.o"
+  "CMakeFiles/photodtn_core.dir/photocrowd.cpp.o.d"
+  "libphotodtn_core.a"
+  "libphotodtn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photodtn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

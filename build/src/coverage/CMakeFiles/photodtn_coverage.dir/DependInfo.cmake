@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coverage/aspect_profile.cpp" "src/coverage/CMakeFiles/photodtn_coverage.dir/aspect_profile.cpp.o" "gcc" "src/coverage/CMakeFiles/photodtn_coverage.dir/aspect_profile.cpp.o.d"
+  "/root/repo/src/coverage/coverage_map.cpp" "src/coverage/CMakeFiles/photodtn_coverage.dir/coverage_map.cpp.o" "gcc" "src/coverage/CMakeFiles/photodtn_coverage.dir/coverage_map.cpp.o.d"
+  "/root/repo/src/coverage/coverage_model.cpp" "src/coverage/CMakeFiles/photodtn_coverage.dir/coverage_model.cpp.o" "gcc" "src/coverage/CMakeFiles/photodtn_coverage.dir/coverage_model.cpp.o.d"
+  "/root/repo/src/coverage/photo.cpp" "src/coverage/CMakeFiles/photodtn_coverage.dir/photo.cpp.o" "gcc" "src/coverage/CMakeFiles/photodtn_coverage.dir/photo.cpp.o.d"
+  "/root/repo/src/coverage/poi_index.cpp" "src/coverage/CMakeFiles/photodtn_coverage.dir/poi_index.cpp.o" "gcc" "src/coverage/CMakeFiles/photodtn_coverage.dir/poi_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/photodtn_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/photodtn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

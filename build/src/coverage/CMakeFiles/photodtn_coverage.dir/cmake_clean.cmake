@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photodtn_coverage.dir/aspect_profile.cpp.o"
+  "CMakeFiles/photodtn_coverage.dir/aspect_profile.cpp.o.d"
+  "CMakeFiles/photodtn_coverage.dir/coverage_map.cpp.o"
+  "CMakeFiles/photodtn_coverage.dir/coverage_map.cpp.o.d"
+  "CMakeFiles/photodtn_coverage.dir/coverage_model.cpp.o"
+  "CMakeFiles/photodtn_coverage.dir/coverage_model.cpp.o.d"
+  "CMakeFiles/photodtn_coverage.dir/photo.cpp.o"
+  "CMakeFiles/photodtn_coverage.dir/photo.cpp.o.d"
+  "CMakeFiles/photodtn_coverage.dir/poi_index.cpp.o"
+  "CMakeFiles/photodtn_coverage.dir/poi_index.cpp.o.d"
+  "libphotodtn_coverage.a"
+  "libphotodtn_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photodtn_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtn/node.cpp" "src/dtn/CMakeFiles/photodtn_dtn.dir/node.cpp.o" "gcc" "src/dtn/CMakeFiles/photodtn_dtn.dir/node.cpp.o.d"
+  "/root/repo/src/dtn/photo_store.cpp" "src/dtn/CMakeFiles/photodtn_dtn.dir/photo_store.cpp.o" "gcc" "src/dtn/CMakeFiles/photodtn_dtn.dir/photo_store.cpp.o.d"
+  "/root/repo/src/dtn/simulator.cpp" "src/dtn/CMakeFiles/photodtn_dtn.dir/simulator.cpp.o" "gcc" "src/dtn/CMakeFiles/photodtn_dtn.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coverage/CMakeFiles/photodtn_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/photodtn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/photodtn_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/photodtn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/photodtn_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

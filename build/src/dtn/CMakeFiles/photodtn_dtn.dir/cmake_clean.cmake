@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photodtn_dtn.dir/node.cpp.o"
+  "CMakeFiles/photodtn_dtn.dir/node.cpp.o.d"
+  "CMakeFiles/photodtn_dtn.dir/photo_store.cpp.o"
+  "CMakeFiles/photodtn_dtn.dir/photo_store.cpp.o.d"
+  "CMakeFiles/photodtn_dtn.dir/simulator.cpp.o"
+  "CMakeFiles/photodtn_dtn.dir/simulator.cpp.o.d"
+  "libphotodtn_dtn.a"
+  "libphotodtn_dtn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photodtn_dtn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

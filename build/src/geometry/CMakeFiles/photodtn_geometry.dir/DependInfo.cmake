@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/angle.cpp" "src/geometry/CMakeFiles/photodtn_geometry.dir/angle.cpp.o" "gcc" "src/geometry/CMakeFiles/photodtn_geometry.dir/angle.cpp.o.d"
+  "/root/repo/src/geometry/arc_set.cpp" "src/geometry/CMakeFiles/photodtn_geometry.dir/arc_set.cpp.o" "gcc" "src/geometry/CMakeFiles/photodtn_geometry.dir/arc_set.cpp.o.d"
+  "/root/repo/src/geometry/sector.cpp" "src/geometry/CMakeFiles/photodtn_geometry.dir/sector.cpp.o" "gcc" "src/geometry/CMakeFiles/photodtn_geometry.dir/sector.cpp.o.d"
+  "/root/repo/src/geometry/vec2.cpp" "src/geometry/CMakeFiles/photodtn_geometry.dir/vec2.cpp.o" "gcc" "src/geometry/CMakeFiles/photodtn_geometry.dir/vec2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/photodtn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

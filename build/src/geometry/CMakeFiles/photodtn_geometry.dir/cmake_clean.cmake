@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photodtn_geometry.dir/angle.cpp.o"
+  "CMakeFiles/photodtn_geometry.dir/angle.cpp.o.d"
+  "CMakeFiles/photodtn_geometry.dir/arc_set.cpp.o"
+  "CMakeFiles/photodtn_geometry.dir/arc_set.cpp.o.d"
+  "CMakeFiles/photodtn_geometry.dir/sector.cpp.o"
+  "CMakeFiles/photodtn_geometry.dir/sector.cpp.o.d"
+  "CMakeFiles/photodtn_geometry.dir/vec2.cpp.o"
+  "CMakeFiles/photodtn_geometry.dir/vec2.cpp.o.d"
+  "libphotodtn_geometry.a"
+  "libphotodtn_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photodtn_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

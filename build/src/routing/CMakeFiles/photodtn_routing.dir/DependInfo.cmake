@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/prophet.cpp" "src/routing/CMakeFiles/photodtn_routing.dir/prophet.cpp.o" "gcc" "src/routing/CMakeFiles/photodtn_routing.dir/prophet.cpp.o.d"
+  "/root/repo/src/routing/rate_estimator.cpp" "src/routing/CMakeFiles/photodtn_routing.dir/rate_estimator.cpp.o" "gcc" "src/routing/CMakeFiles/photodtn_routing.dir/rate_estimator.cpp.o.d"
+  "/root/repo/src/routing/spray_counter.cpp" "src/routing/CMakeFiles/photodtn_routing.dir/spray_counter.cpp.o" "gcc" "src/routing/CMakeFiles/photodtn_routing.dir/spray_counter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/photodtn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/photodtn_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/photodtn_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photodtn_routing.dir/prophet.cpp.o"
+  "CMakeFiles/photodtn_routing.dir/prophet.cpp.o.d"
+  "CMakeFiles/photodtn_routing.dir/rate_estimator.cpp.o"
+  "CMakeFiles/photodtn_routing.dir/rate_estimator.cpp.o.d"
+  "CMakeFiles/photodtn_routing.dir/spray_counter.cpp.o"
+  "CMakeFiles/photodtn_routing.dir/spray_counter.cpp.o.d"
+  "libphotodtn_routing.a"
+  "libphotodtn_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photodtn_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schemes/best_possible.cpp" "src/schemes/CMakeFiles/photodtn_schemes.dir/best_possible.cpp.o" "gcc" "src/schemes/CMakeFiles/photodtn_schemes.dir/best_possible.cpp.o.d"
+  "/root/repo/src/schemes/common.cpp" "src/schemes/CMakeFiles/photodtn_schemes.dir/common.cpp.o" "gcc" "src/schemes/CMakeFiles/photodtn_schemes.dir/common.cpp.o.d"
+  "/root/repo/src/schemes/epidemic.cpp" "src/schemes/CMakeFiles/photodtn_schemes.dir/epidemic.cpp.o" "gcc" "src/schemes/CMakeFiles/photodtn_schemes.dir/epidemic.cpp.o.d"
+  "/root/repo/src/schemes/factory.cpp" "src/schemes/CMakeFiles/photodtn_schemes.dir/factory.cpp.o" "gcc" "src/schemes/CMakeFiles/photodtn_schemes.dir/factory.cpp.o.d"
+  "/root/repo/src/schemes/modified_spray.cpp" "src/schemes/CMakeFiles/photodtn_schemes.dir/modified_spray.cpp.o" "gcc" "src/schemes/CMakeFiles/photodtn_schemes.dir/modified_spray.cpp.o.d"
+  "/root/repo/src/schemes/our_scheme.cpp" "src/schemes/CMakeFiles/photodtn_schemes.dir/our_scheme.cpp.o" "gcc" "src/schemes/CMakeFiles/photodtn_schemes.dir/our_scheme.cpp.o.d"
+  "/root/repo/src/schemes/photonet.cpp" "src/schemes/CMakeFiles/photodtn_schemes.dir/photonet.cpp.o" "gcc" "src/schemes/CMakeFiles/photodtn_schemes.dir/photonet.cpp.o.d"
+  "/root/repo/src/schemes/prophet_routing.cpp" "src/schemes/CMakeFiles/photodtn_schemes.dir/prophet_routing.cpp.o" "gcc" "src/schemes/CMakeFiles/photodtn_schemes.dir/prophet_routing.cpp.o.d"
+  "/root/repo/src/schemes/spray_and_wait.cpp" "src/schemes/CMakeFiles/photodtn_schemes.dir/spray_and_wait.cpp.o" "gcc" "src/schemes/CMakeFiles/photodtn_schemes.dir/spray_and_wait.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dtn/CMakeFiles/photodtn_dtn.dir/DependInfo.cmake"
+  "/root/repo/build/src/selection/CMakeFiles/photodtn_selection.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/photodtn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/photodtn_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/photodtn_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/photodtn_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/photodtn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

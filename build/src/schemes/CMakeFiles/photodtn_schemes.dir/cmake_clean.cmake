@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photodtn_schemes.dir/best_possible.cpp.o"
+  "CMakeFiles/photodtn_schemes.dir/best_possible.cpp.o.d"
+  "CMakeFiles/photodtn_schemes.dir/common.cpp.o"
+  "CMakeFiles/photodtn_schemes.dir/common.cpp.o.d"
+  "CMakeFiles/photodtn_schemes.dir/epidemic.cpp.o"
+  "CMakeFiles/photodtn_schemes.dir/epidemic.cpp.o.d"
+  "CMakeFiles/photodtn_schemes.dir/factory.cpp.o"
+  "CMakeFiles/photodtn_schemes.dir/factory.cpp.o.d"
+  "CMakeFiles/photodtn_schemes.dir/modified_spray.cpp.o"
+  "CMakeFiles/photodtn_schemes.dir/modified_spray.cpp.o.d"
+  "CMakeFiles/photodtn_schemes.dir/our_scheme.cpp.o"
+  "CMakeFiles/photodtn_schemes.dir/our_scheme.cpp.o.d"
+  "CMakeFiles/photodtn_schemes.dir/photonet.cpp.o"
+  "CMakeFiles/photodtn_schemes.dir/photonet.cpp.o.d"
+  "CMakeFiles/photodtn_schemes.dir/prophet_routing.cpp.o"
+  "CMakeFiles/photodtn_schemes.dir/prophet_routing.cpp.o.d"
+  "CMakeFiles/photodtn_schemes.dir/spray_and_wait.cpp.o"
+  "CMakeFiles/photodtn_schemes.dir/spray_and_wait.cpp.o.d"
+  "libphotodtn_schemes.a"
+  "libphotodtn_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photodtn_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

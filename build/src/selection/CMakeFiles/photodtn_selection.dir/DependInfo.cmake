@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selection/exact_solver.cpp" "src/selection/CMakeFiles/photodtn_selection.dir/exact_solver.cpp.o" "gcc" "src/selection/CMakeFiles/photodtn_selection.dir/exact_solver.cpp.o.d"
+  "/root/repo/src/selection/expected_coverage.cpp" "src/selection/CMakeFiles/photodtn_selection.dir/expected_coverage.cpp.o" "gcc" "src/selection/CMakeFiles/photodtn_selection.dir/expected_coverage.cpp.o.d"
+  "/root/repo/src/selection/greedy_selector.cpp" "src/selection/CMakeFiles/photodtn_selection.dir/greedy_selector.cpp.o" "gcc" "src/selection/CMakeFiles/photodtn_selection.dir/greedy_selector.cpp.o.d"
+  "/root/repo/src/selection/metadata_cache.cpp" "src/selection/CMakeFiles/photodtn_selection.dir/metadata_cache.cpp.o" "gcc" "src/selection/CMakeFiles/photodtn_selection.dir/metadata_cache.cpp.o.d"
+  "/root/repo/src/selection/selection_env.cpp" "src/selection/CMakeFiles/photodtn_selection.dir/selection_env.cpp.o" "gcc" "src/selection/CMakeFiles/photodtn_selection.dir/selection_env.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coverage/CMakeFiles/photodtn_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/photodtn_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/photodtn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

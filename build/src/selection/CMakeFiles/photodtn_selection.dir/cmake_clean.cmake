@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photodtn_selection.dir/exact_solver.cpp.o"
+  "CMakeFiles/photodtn_selection.dir/exact_solver.cpp.o.d"
+  "CMakeFiles/photodtn_selection.dir/expected_coverage.cpp.o"
+  "CMakeFiles/photodtn_selection.dir/expected_coverage.cpp.o.d"
+  "CMakeFiles/photodtn_selection.dir/greedy_selector.cpp.o"
+  "CMakeFiles/photodtn_selection.dir/greedy_selector.cpp.o.d"
+  "CMakeFiles/photodtn_selection.dir/metadata_cache.cpp.o"
+  "CMakeFiles/photodtn_selection.dir/metadata_cache.cpp.o.d"
+  "CMakeFiles/photodtn_selection.dir/selection_env.cpp.o"
+  "CMakeFiles/photodtn_selection.dir/selection_env.cpp.o.d"
+  "libphotodtn_selection.a"
+  "libphotodtn_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photodtn_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photodtn_sim.dir/experiment.cpp.o"
+  "CMakeFiles/photodtn_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/photodtn_sim.dir/result_io.cpp.o"
+  "CMakeFiles/photodtn_sim.dir/result_io.cpp.o.d"
+  "libphotodtn_sim.a"
+  "libphotodtn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photodtn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

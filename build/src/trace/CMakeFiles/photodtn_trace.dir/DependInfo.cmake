@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/contact_trace.cpp" "src/trace/CMakeFiles/photodtn_trace.dir/contact_trace.cpp.o" "gcc" "src/trace/CMakeFiles/photodtn_trace.dir/contact_trace.cpp.o.d"
+  "/root/repo/src/trace/mobility_rwp.cpp" "src/trace/CMakeFiles/photodtn_trace.dir/mobility_rwp.cpp.o" "gcc" "src/trace/CMakeFiles/photodtn_trace.dir/mobility_rwp.cpp.o.d"
+  "/root/repo/src/trace/synthetic_trace.cpp" "src/trace/CMakeFiles/photodtn_trace.dir/synthetic_trace.cpp.o" "gcc" "src/trace/CMakeFiles/photodtn_trace.dir/synthetic_trace.cpp.o.d"
+  "/root/repo/src/trace/temporal_reachability.cpp" "src/trace/CMakeFiles/photodtn_trace.dir/temporal_reachability.cpp.o" "gcc" "src/trace/CMakeFiles/photodtn_trace.dir/temporal_reachability.cpp.o.d"
+  "/root/repo/src/trace/trace_analysis.cpp" "src/trace/CMakeFiles/photodtn_trace.dir/trace_analysis.cpp.o" "gcc" "src/trace/CMakeFiles/photodtn_trace.dir/trace_analysis.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/photodtn_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/photodtn_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/photodtn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/photodtn_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

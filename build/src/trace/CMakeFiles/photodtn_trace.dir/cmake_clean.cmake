@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photodtn_trace.dir/contact_trace.cpp.o"
+  "CMakeFiles/photodtn_trace.dir/contact_trace.cpp.o.d"
+  "CMakeFiles/photodtn_trace.dir/mobility_rwp.cpp.o"
+  "CMakeFiles/photodtn_trace.dir/mobility_rwp.cpp.o.d"
+  "CMakeFiles/photodtn_trace.dir/synthetic_trace.cpp.o"
+  "CMakeFiles/photodtn_trace.dir/synthetic_trace.cpp.o.d"
+  "CMakeFiles/photodtn_trace.dir/temporal_reachability.cpp.o"
+  "CMakeFiles/photodtn_trace.dir/temporal_reachability.cpp.o.d"
+  "CMakeFiles/photodtn_trace.dir/trace_analysis.cpp.o"
+  "CMakeFiles/photodtn_trace.dir/trace_analysis.cpp.o.d"
+  "CMakeFiles/photodtn_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/photodtn_trace.dir/trace_io.cpp.o.d"
+  "libphotodtn_trace.a"
+  "libphotodtn_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photodtn_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

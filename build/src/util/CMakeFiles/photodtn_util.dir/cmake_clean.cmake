@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photodtn_util.dir/args.cpp.o"
+  "CMakeFiles/photodtn_util.dir/args.cpp.o.d"
+  "CMakeFiles/photodtn_util.dir/env.cpp.o"
+  "CMakeFiles/photodtn_util.dir/env.cpp.o.d"
+  "CMakeFiles/photodtn_util.dir/json.cpp.o"
+  "CMakeFiles/photodtn_util.dir/json.cpp.o.d"
+  "CMakeFiles/photodtn_util.dir/rng.cpp.o"
+  "CMakeFiles/photodtn_util.dir/rng.cpp.o.d"
+  "CMakeFiles/photodtn_util.dir/stats.cpp.o"
+  "CMakeFiles/photodtn_util.dir/stats.cpp.o.d"
+  "CMakeFiles/photodtn_util.dir/table.cpp.o"
+  "CMakeFiles/photodtn_util.dir/table.cpp.o.d"
+  "libphotodtn_util.a"
+  "libphotodtn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photodtn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libphotodtn_util.a"
+)

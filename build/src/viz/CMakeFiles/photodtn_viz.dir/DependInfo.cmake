@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/coverage_scene.cpp" "src/viz/CMakeFiles/photodtn_viz.dir/coverage_scene.cpp.o" "gcc" "src/viz/CMakeFiles/photodtn_viz.dir/coverage_scene.cpp.o.d"
+  "/root/repo/src/viz/svg_canvas.cpp" "src/viz/CMakeFiles/photodtn_viz.dir/svg_canvas.cpp.o" "gcc" "src/viz/CMakeFiles/photodtn_viz.dir/svg_canvas.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coverage/CMakeFiles/photodtn_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/photodtn_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/photodtn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photodtn_viz.dir/coverage_scene.cpp.o"
+  "CMakeFiles/photodtn_viz.dir/coverage_scene.cpp.o.d"
+  "CMakeFiles/photodtn_viz.dir/svg_canvas.cpp.o"
+  "CMakeFiles/photodtn_viz.dir/svg_canvas.cpp.o.d"
+  "libphotodtn_viz.a"
+  "libphotodtn_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photodtn_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photodtn_workload.dir/photo_gen.cpp.o"
+  "CMakeFiles/photodtn_workload.dir/photo_gen.cpp.o.d"
+  "CMakeFiles/photodtn_workload.dir/poi_gen.cpp.o"
+  "CMakeFiles/photodtn_workload.dir/poi_gen.cpp.o.d"
+  "CMakeFiles/photodtn_workload.dir/scenario.cpp.o"
+  "CMakeFiles/photodtn_workload.dir/scenario.cpp.o.d"
+  "CMakeFiles/photodtn_workload.dir/sensor_model.cpp.o"
+  "CMakeFiles/photodtn_workload.dir/sensor_model.cpp.o.d"
+  "libphotodtn_workload.a"
+  "libphotodtn_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photodtn_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,79 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/photocrowd_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/core/photocrowd_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/core/photocrowd_test.cpp.o.d"
+  "/root/repo/tests/coverage/aspect_profile_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/coverage/aspect_profile_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/coverage/aspect_profile_test.cpp.o.d"
+  "/root/repo/tests/coverage/coverage_map_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/coverage/coverage_map_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/coverage/coverage_map_test.cpp.o.d"
+  "/root/repo/tests/coverage/coverage_model_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/coverage/coverage_model_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/coverage/coverage_model_test.cpp.o.d"
+  "/root/repo/tests/coverage/coverage_value_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/coverage/coverage_value_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/coverage/coverage_value_test.cpp.o.d"
+  "/root/repo/tests/coverage/photo_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/coverage/photo_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/coverage/photo_test.cpp.o.d"
+  "/root/repo/tests/coverage/poi_index_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/coverage/poi_index_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/coverage/poi_index_test.cpp.o.d"
+  "/root/repo/tests/coverage/quality_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/coverage/quality_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/coverage/quality_test.cpp.o.d"
+  "/root/repo/tests/dtn/event_listener_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/dtn/event_listener_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/dtn/event_listener_test.cpp.o.d"
+  "/root/repo/tests/dtn/photo_store_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/dtn/photo_store_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/dtn/photo_store_test.cpp.o.d"
+  "/root/repo/tests/dtn/simulator_fuzz_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/dtn/simulator_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/dtn/simulator_fuzz_test.cpp.o.d"
+  "/root/repo/tests/dtn/simulator_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/dtn/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/dtn/simulator_test.cpp.o.d"
+  "/root/repo/tests/geometry/angle_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/geometry/angle_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/geometry/angle_test.cpp.o.d"
+  "/root/repo/tests/geometry/arc_set_fuzz_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/geometry/arc_set_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/geometry/arc_set_fuzz_test.cpp.o.d"
+  "/root/repo/tests/geometry/arc_set_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/geometry/arc_set_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/geometry/arc_set_test.cpp.o.d"
+  "/root/repo/tests/geometry/sector_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/geometry/sector_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/geometry/sector_test.cpp.o.d"
+  "/root/repo/tests/geometry/vec2_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/geometry/vec2_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/geometry/vec2_test.cpp.o.d"
+  "/root/repo/tests/integration/demo_ordering_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/integration/demo_ordering_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/integration/demo_ordering_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/routing/prophet_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/routing/prophet_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/routing/prophet_test.cpp.o.d"
+  "/root/repo/tests/routing/rate_estimator_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/routing/rate_estimator_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/routing/rate_estimator_test.cpp.o.d"
+  "/root/repo/tests/routing/spray_counter_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/routing/spray_counter_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/routing/spray_counter_test.cpp.o.d"
+  "/root/repo/tests/schemes/baselines_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/schemes/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/schemes/baselines_test.cpp.o.d"
+  "/root/repo/tests/schemes/extra_baselines_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/schemes/extra_baselines_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/schemes/extra_baselines_test.cpp.o.d"
+  "/root/repo/tests/schemes/our_scheme_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/schemes/our_scheme_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/schemes/our_scheme_test.cpp.o.d"
+  "/root/repo/tests/selection/exact_solver_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/selection/exact_solver_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/selection/exact_solver_test.cpp.o.d"
+  "/root/repo/tests/selection/expected_coverage_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/selection/expected_coverage_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/selection/expected_coverage_test.cpp.o.d"
+  "/root/repo/tests/selection/greedy_selector_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/selection/greedy_selector_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/selection/greedy_selector_test.cpp.o.d"
+  "/root/repo/tests/selection/metadata_cache_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/selection/metadata_cache_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/selection/metadata_cache_test.cpp.o.d"
+  "/root/repo/tests/selection/selection_env_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/selection/selection_env_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/selection/selection_env_test.cpp.o.d"
+  "/root/repo/tests/sim/experiment_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/sim/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/sim/experiment_test.cpp.o.d"
+  "/root/repo/tests/sim/result_io_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/sim/result_io_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/sim/result_io_test.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/photodtn_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/tools/cli_config_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/tools/cli_config_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/tools/cli_config_test.cpp.o.d"
+  "/root/repo/tests/trace/contact_trace_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/trace/contact_trace_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/trace/contact_trace_test.cpp.o.d"
+  "/root/repo/tests/trace/mobility_rwp_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/trace/mobility_rwp_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/trace/mobility_rwp_test.cpp.o.d"
+  "/root/repo/tests/trace/synthetic_trace_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/trace/synthetic_trace_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/trace/synthetic_trace_test.cpp.o.d"
+  "/root/repo/tests/trace/temporal_reachability_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/trace/temporal_reachability_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/trace/temporal_reachability_test.cpp.o.d"
+  "/root/repo/tests/trace/trace_analysis_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/trace/trace_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/trace/trace_analysis_test.cpp.o.d"
+  "/root/repo/tests/trace/trace_io_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/trace/trace_io_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/trace/trace_io_test.cpp.o.d"
+  "/root/repo/tests/util/args_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/util/args_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/util/args_test.cpp.o.d"
+  "/root/repo/tests/util/env_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/util/env_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/util/env_test.cpp.o.d"
+  "/root/repo/tests/util/json_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/util/json_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/util/json_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/viz/viz_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/viz/viz_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/viz/viz_test.cpp.o.d"
+  "/root/repo/tests/workload/workload_test.cpp" "tests/CMakeFiles/photodtn_tests.dir/workload/workload_test.cpp.o" "gcc" "tests/CMakeFiles/photodtn_tests.dir/workload/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/photodtn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/photodtn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/photodtn_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/selection/CMakeFiles/photodtn_selection.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtn/CMakeFiles/photodtn_dtn.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/photodtn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/photodtn_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/photodtn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/photodtn_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/photodtn_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/photodtn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/photodtn_viz.dir/DependInfo.cmake"
+  "/root/repo/build/tools/CMakeFiles/photodtn_cli_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

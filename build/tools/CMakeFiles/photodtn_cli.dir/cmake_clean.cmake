@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photodtn_cli.dir/photodtn_cli.cpp.o"
+  "CMakeFiles/photodtn_cli.dir/photodtn_cli.cpp.o.d"
+  "photodtn_cli"
+  "photodtn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photodtn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photodtn_cli_lib.dir/cli_config.cpp.o"
+  "CMakeFiles/photodtn_cli_lib.dir/cli_config.cpp.o.d"
+  "libphotodtn_cli_lib.a"
+  "libphotodtn_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photodtn_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

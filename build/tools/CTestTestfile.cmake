@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli.schemes "/root/repo/build/tools/photodtn_cli" "schemes")
+set_tests_properties(cli.schemes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.simulate "/root/repo/build/tools/photodtn_cli" "simulate" "--scale" "0.1" "--runs" "1" "--hours" "10" "--scheme" "Spray&Wait")
+set_tests_properties(cli.simulate PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.trace_roundtrip "sh" "-c" "/root/repo/build/tools/photodtn_cli trace-gen --out cli_test_trace.csv --scale 0.1           && /root/repo/build/tools/photodtn_cli trace-stats cli_test_trace.csv")
+set_tests_properties(cli.trace_roundtrip PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
