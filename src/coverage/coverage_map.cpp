@@ -25,6 +25,8 @@ CoverageValue CoverageMap::add(const PhotoFootprint& fp) {
     arcs_[pa.poi_index].add(pa.arc);
   }
   total_ += gained;
+  PHOTODTN_AUDIT(gained.audit());
+  PHOTODTN_AUDIT(total_.audit());
   return gained;
 }
 

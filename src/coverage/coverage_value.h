@@ -2,7 +2,10 @@
 // Point coverage dominates: any point-coverage gain beats any aspect gain.
 #pragma once
 
+#include <cmath>
 #include <compare>
+
+#include "util/check.h"
 
 namespace photodtn {
 
@@ -41,6 +44,16 @@ struct CoverageValue {
     if (point > o.point + eps) return true;
     if (point < o.point - eps) return false;
     return aspect > o.aspect + eps;
+  }
+
+  /// Deep invariant check (audit builds / tests): both components are finite.
+  /// A NaN component silently breaks the lexicographic order of Definition 1
+  /// (operator<=> becomes non-transitive and exceeds() inconsistent with it),
+  /// so finiteness IS the ordering-consistency invariant. Throws
+  /// std::logic_error on violation.
+  void audit() const {
+    PHOTODTN_CHECK_MSG(std::isfinite(point), "CoverageValue.point must be finite");
+    PHOTODTN_CHECK_MSG(std::isfinite(aspect), "CoverageValue.aspect must be finite");
   }
 };
 

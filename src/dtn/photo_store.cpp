@@ -14,6 +14,7 @@ bool PhotoStore::add(const PhotoMeta& photo) {
   if (!can_fit(photo.size_bytes)) return false;
   photos_.emplace(photo.id, photo);
   used_ += photo.size_bytes;
+  PHOTODTN_AUDIT(audit());
   return true;
 }
 
@@ -23,6 +24,7 @@ bool PhotoStore::remove(PhotoId id) {
   PHOTODTN_CHECK(used_ >= it->second.size_bytes);
   used_ -= it->second.size_bytes;
   photos_.erase(it);
+  PHOTODTN_AUDIT(audit());
   return true;
 }
 
@@ -36,6 +38,19 @@ std::vector<PhotoMeta> PhotoStore::photos() const {
 void PhotoStore::clear() {
   photos_.clear();
   used_ = 0;
+  PHOTODTN_AUDIT(audit());
+}
+
+void PhotoStore::audit() const {
+  std::uint64_t sum = 0;
+  for (const auto& [id, photo] : photos_) {
+    PHOTODTN_CHECK_MSG(id == photo.id, "PhotoStore entry keyed by a different photo id");
+    sum += photo.size_bytes;
+  }
+  PHOTODTN_CHECK_MSG(sum == used_,
+                     "PhotoStore byte accounting diverged from stored photo sizes");
+  PHOTODTN_CHECK_MSG(capacity_ == kUnlimited || used_ <= capacity_,
+                     "PhotoStore exceeds its byte capacity");
 }
 
 }  // namespace photodtn

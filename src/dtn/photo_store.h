@@ -49,6 +49,12 @@ class PhotoStore {
 
   void clear();
 
+  /// Deep invariant check (audit builds / tests): the byte accounting in
+  /// used_bytes() equals the sum of stored photo sizes, the map key of every
+  /// photo matches its id, and a bounded store never exceeds its capacity.
+  /// Throws std::logic_error on violation.
+  void audit() const;
+
  private:
   std::uint64_t capacity_;
   std::uint64_t used_ = 0;

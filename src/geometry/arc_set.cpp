@@ -24,6 +24,27 @@ ArcSet ArcSet::from_arcs(const std::vector<Arc>& arcs) {
   return s;
 }
 
+void ArcSet::audit() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    const auto& [s, e] = intervals_[i];
+    PHOTODTN_CHECK_MSG(std::isfinite(s) && std::isfinite(e),
+                       "ArcSet interval endpoints must be finite");
+    PHOTODTN_CHECK_MSG(s >= 0.0 && s < kTwoPi, "ArcSet interval start outside [0, 2*pi)");
+    PHOTODTN_CHECK_MSG(e > s, "ArcSet interval must have positive length");
+    PHOTODTN_CHECK_MSG(e <= kTwoPi + kEps, "ArcSet interval end beyond 2*pi");
+    if (i > 0) {
+      // Strictly after the previous interval: sorted and disjoint. Touching
+      // within kEps would have been merged by insert_linear.
+      PHOTODTN_CHECK_MSG(s > intervals_[i - 1].second,
+                         "ArcSet intervals must be sorted and disjoint");
+    }
+    total += e - s;
+  }
+  PHOTODTN_CHECK_MSG(total <= kTwoPi + intervals_.size() * kEps,
+                     "ArcSet total measure exceeds the circle");
+}
+
 void ArcSet::insert_linear(double lo, double hi) {
   // Inserts [lo, hi) with 0 <= lo < hi <= 2*pi into the sorted disjoint list.
   if (hi - lo <= kEps) return;
@@ -67,10 +88,12 @@ void ArcSet::add(Arc arc) {
     // The two pieces may now both touch the wrap point; measure/contains
     // handle that without further canonicalization.
   }
+  PHOTODTN_AUDIT(audit());
 }
 
 void ArcSet::unite(const ArcSet& other) {
   for (const auto& [s, e] : other.intervals_) insert_linear(s, e);
+  PHOTODTN_AUDIT(audit());
 }
 
 double ArcSet::measure() const noexcept {

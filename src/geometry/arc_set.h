@@ -65,6 +65,12 @@ class ArcSet {
 
   bool operator==(const ArcSet&) const = default;
 
+  /// Deep invariant check (audit builds / tests): intervals are sorted by
+  /// start, pairwise disjoint, each normalized to 0 <= start < end <= 2*pi,
+  /// and the total measure does not exceed the circle. Throws std::logic_error
+  /// on violation.
+  void audit() const;
+
  private:
   void insert_linear(double lo, double hi);
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/prob.h"
 
 namespace photodtn {
 
@@ -11,8 +12,11 @@ void ProphetTable::age(double now) {
   if (now <= last_aged_) return;
   const double k = (now - last_aged_) / cfg_.aging_time_unit_s;
   const double factor = std::pow(cfg_.gamma, k);
-  for (auto& [node, p] : table_) p *= factor;
+  // With gamma in (0, 1] the factor cannot exceed 1, so aging is monotone
+  // non-increasing; the clamp guards misconfigured gamma > 1.
+  for (auto& [node, p] : table_) p = clamp01(p * factor);
   last_aged_ = now;
+  PHOTODTN_AUDIT(audit());
 }
 
 double ProphetTable::delivery_prob(NodeId dest) const {
@@ -23,7 +27,9 @@ double ProphetTable::delivery_prob(NodeId dest) const {
 
 void ProphetTable::direct_update(NodeId peer) {
   double& p = table_[peer];
-  p = p + (1.0 - p) * cfg_.p_init;
+  // p + (1-p)*p_init stays in [0, 1] in exact arithmetic; clamp the rounded
+  // result so repeated encounters can never drift above 1.
+  p = clamp01(p + (1.0 - p) * cfg_.p_init);
 }
 
 void ProphetTable::transitive_update(
@@ -32,7 +38,7 @@ void ProphetTable::transitive_update(
   for (const auto& [c, p_bc] : peer_snapshot) {
     if (c == self_ || c == peer) continue;
     double& p_ac = table_[c];
-    p_ac = p_ac + (1.0 - p_ac) * p_ab * p_bc * cfg_.beta;
+    p_ac = clamp01(p_ac + (1.0 - p_ac) * p_ab * p_bc * cfg_.beta);
   }
 }
 
@@ -48,6 +54,23 @@ void ProphetTable::encounter(ProphetTable& a, ProphetTable& b, double now) {
   b.direct_update(a.self_);
   a.transitive_update(snap_b, b.self_);
   b.transitive_update(snap_a, a.self_);
+  PHOTODTN_AUDIT(a.audit());
+  PHOTODTN_AUDIT(b.audit());
+}
+
+void ProphetTable::audit() const {
+  PHOTODTN_CHECK_MSG(is_probability(cfg_.p_init), "PROPHET p_init must be in [0, 1]");
+  PHOTODTN_CHECK_MSG(is_probability(cfg_.beta), "PROPHET beta must be in [0, 1]");
+  PHOTODTN_CHECK_MSG(cfg_.gamma > 0.0 && cfg_.gamma <= 1.0,
+                     "PROPHET gamma must be in (0, 1] for monotone decay");
+  PHOTODTN_CHECK_MSG(cfg_.aging_time_unit_s > 0.0,
+                     "PROPHET aging time unit must be positive");
+  PHOTODTN_CHECK_MSG(std::isfinite(last_aged_), "PROPHET aging clock must be finite");
+  for (const auto& [node, p] : table_) {
+    PHOTODTN_CHECK_MSG(node != self_, "PROPHET table must not hold an entry for self");
+    PHOTODTN_CHECK_MSG(is_probability(p),
+                       "PROPHET delivery predictability must be in [0, 1]");
+  }
 }
 
 }  // namespace photodtn

@@ -45,6 +45,13 @@ class ProphetTable {
   const std::unordered_map<NodeId, double>& entries() const noexcept { return table_; }
   const ProphetConfig& config() const noexcept { return cfg_; }
 
+  /// Deep invariant check (audit builds / tests): every predictability is a
+  /// finite value in [0, 1], the table holds no entry for self (self is
+  /// implicitly 1), the config parameters are valid probabilities with
+  /// gamma in (0, 1] (so aging decays monotonically), and the aging clock is
+  /// finite. Throws std::logic_error on violation.
+  void audit() const;
+
  private:
   void direct_update(NodeId peer);
   void transitive_update(const std::unordered_map<NodeId, double>& peer_snapshot,

@@ -3,14 +3,20 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/prob.h"
 
 namespace photodtn {
 
 bool MetadataCache::update(MetadataEntry entry) {
   PHOTODTN_CHECK_MSG(entry.owner >= 0, "metadata entry needs an owner");
+  PHOTODTN_DCHECK_MSG(entry.lambda >= 0.0 && std::isfinite(entry.lambda),
+                      "metadata entry lambda must be finite and non-negative");
+  PHOTODTN_DCHECK_MSG(is_probability(entry.delivery_prob),
+                      "metadata entry delivery probability must be in [0, 1]");
   auto it = entries_.find(entry.owner);
   if (it != entries_.end() && it->second.observed_at >= entry.observed_at) return false;
   entries_[entry.owner] = std::move(entry);
+  PHOTODTN_AUDIT(audit());
   return true;
 }
 
@@ -32,6 +38,7 @@ void MetadataCache::prune(double now) {
       ++it;
     }
   }
+  PHOTODTN_AUDIT(audit());
 }
 
 std::vector<const MetadataEntry*> MetadataCache::valid_entries(double now) const {
@@ -51,6 +58,23 @@ void MetadataCache::merge_from(const MetadataCache& other, NodeId self) {
   for (const auto& [owner, entry] : other.entries_) {
     if (owner == self) continue;
     update(entry);
+  }
+  PHOTODTN_AUDIT(audit());
+}
+
+void MetadataCache::audit() const {
+  PHOTODTN_CHECK_MSG(is_probability(p_thld_),
+                     "MetadataCache validity threshold must be in [0, 1]");
+  for (const auto& [owner, entry] : entries_) {
+    PHOTODTN_CHECK_MSG(owner == entry.owner,
+                       "MetadataCache entry keyed by a different owner");
+    PHOTODTN_CHECK_MSG(entry.owner >= 0, "MetadataCache entry owner must be valid");
+    PHOTODTN_CHECK_MSG(std::isfinite(entry.lambda) && entry.lambda >= 0.0,
+                       "MetadataCache entry lambda must be finite and >= 0");
+    PHOTODTN_CHECK_MSG(is_probability(entry.delivery_prob),
+                       "MetadataCache entry delivery probability must be in [0, 1]");
+    PHOTODTN_CHECK_MSG(std::isfinite(entry.observed_at) && entry.observed_at >= 0.0,
+                       "MetadataCache entry observation time must be finite and >= 0");
   }
 }
 

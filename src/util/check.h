@@ -1,6 +1,19 @@
 // Lightweight contract checks. These guard invariants and preconditions that
 // indicate programming errors (not runtime conditions a caller can recover
 // from), so they throw std::logic_error with the failing expression.
+//
+// Three tiers:
+//   PHOTODTN_CHECK        — always on; cheap conditions on hot-but-not-critical
+//                           paths (a dropped check here hides corruption).
+//   PHOTODTN_DCHECK       — on in debug (!NDEBUG) and audit builds, compiled
+//                           out (expression not evaluated) otherwise; for
+//                           conditions too hot to check in release.
+//   PHOTODTN_AUDIT        — on only when PHOTODTN_AUDIT_INVARIANTS is defined
+//                           (cmake -DPHOTODTN_AUDIT_INVARIANTS=ON); runs deep
+//                           structural validation such as the audit() methods
+//                           on ArcSet / MetadataCache / ProphetTable /
+//                           PhotoStore at mutation sites. O(n) or worse per
+//                           call, so never enabled in normal builds.
 #pragma once
 
 #include <sstream>
@@ -17,6 +30,24 @@ namespace photodtn {
   throw std::logic_error(os.str());
 }
 
+/// True when PHOTODTN_DCHECK is active in this translation unit's build.
+constexpr bool dchecks_enabled() noexcept {
+#if defined(PHOTODTN_AUDIT_INVARIANTS) || !defined(NDEBUG)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// True when PHOTODTN_AUDIT is active in this translation unit's build.
+constexpr bool audits_enabled() noexcept {
+#ifdef PHOTODTN_AUDIT_INVARIANTS
+  return true;
+#else
+  return false;
+#endif
+}
+
 }  // namespace photodtn
 
 // Always-on check (cheap conditions on hot-but-not-critical paths).
@@ -25,7 +56,40 @@ namespace photodtn {
     if (!(expr)) ::photodtn::check_failed(#expr, __FILE__, __LINE__, ""); \
   } while (0)
 
-#define PHOTODTN_CHECK_MSG(expr, msg)                                       \
-  do {                                                                      \
+#define PHOTODTN_CHECK_MSG(expr, msg)                                        \
+  do {                                                                       \
     if (!(expr)) ::photodtn::check_failed(#expr, __FILE__, __LINE__, (msg)); \
   } while (0)
+
+#if defined(PHOTODTN_AUDIT_INVARIANTS) || !defined(NDEBUG)
+#define PHOTODTN_DCHECK(expr) PHOTODTN_CHECK(expr)
+#define PHOTODTN_DCHECK_MSG(expr, msg) PHOTODTN_CHECK_MSG(expr, (msg))
+#else
+// Compiled out: the expression is parsed (so it cannot bit-rot) but never
+// evaluated, and variables it names do not trigger -Wunused warnings.
+#define PHOTODTN_DCHECK(expr)         \
+  do {                                \
+    if (false) { (void)(expr); }      \
+  } while (0)
+#define PHOTODTN_DCHECK_MSG(expr, msg) \
+  do {                                 \
+    if (false) {                       \
+      (void)(expr);                    \
+      (void)(msg);                     \
+    }                                  \
+  } while (0)
+#endif
+
+// Deep-invariant hook: evaluates the expression (typically `obj.audit()`)
+// only in audit builds. Place at the end of mutating operations.
+#ifdef PHOTODTN_AUDIT_INVARIANTS
+#define PHOTODTN_AUDIT(expr) \
+  do {                       \
+    (expr);                  \
+  } while (0)
+#else
+#define PHOTODTN_AUDIT(expr)     \
+  do {                           \
+    if (false) { (void)(expr); } \
+  } while (0)
+#endif

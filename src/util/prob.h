@@ -1,0 +1,23 @@
+// Probability bookkeeping helpers. PROPHET updates, metadata staleness, and
+// the expected-coverage estimator all carry probabilities that must stay in
+// [0, 1]; floating-point rounding in long update chains can drift a hair
+// outside, so mutation sites clamp with clamp01 and audits verify with
+// is_probability.
+#pragma once
+
+#include <cmath>
+
+namespace photodtn {
+
+/// Clamps to [0, 1]. NaN propagates (audits catch it; silently mapping NaN
+/// to a valid probability would hide the bug the clamp exists to contain).
+constexpr double clamp01(double p) noexcept {
+  return p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+}
+
+/// True for a finite value in [0, 1].
+inline bool is_probability(double p) noexcept {
+  return std::isfinite(p) && 0.0 <= p && p <= 1.0;
+}
+
+}  // namespace photodtn

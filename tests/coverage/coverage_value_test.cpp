@@ -2,6 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "geometry/angle.h"
+#include "util/rng.h"
+
 namespace photodtn {
 namespace {
 
@@ -58,6 +65,33 @@ TEST(CoverageValue, OrderingIsTotalOnSamples) {
         EXPECT_GT(vals[i], vals[j]);
       }
     }
+}
+
+TEST(CoverageValueAudit, FiniteValuesPassUnderArithmeticChains) {
+  // Property: sums, differences, and scalings of finite values stay finite,
+  // and audit() accepts every intermediate. The lexicographic comparison
+  // stays consistent with exceeds() throughout.
+  Rng rng(424242);
+  CoverageValue acc;
+  for (int i = 0; i < 200; ++i) {
+    const CoverageValue v{rng.uniform(-5.0, 5.0), rng.uniform(0.0, kTwoPi)};
+    ASSERT_NO_THROW(v.audit());
+    acc += v * rng.uniform(0.0, 2.0);
+    ASSERT_NO_THROW(acc.audit());
+    // Ordering consistency: strictly exceeding with zero slack implies
+    // strictly greater in the lexicographic order, and vice versa.
+    ASSERT_EQ(acc.exceeds(v, 0.0), acc > v);
+  }
+}
+
+TEST(CoverageValueAudit, RejectsNonFiniteComponents) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((CoverageValue{nan, 0.0}.audit()), std::logic_error);
+  EXPECT_THROW((CoverageValue{0.0, nan}.audit()), std::logic_error);
+  EXPECT_THROW((CoverageValue{inf, 0.0}.audit()), std::logic_error);
+  EXPECT_THROW((CoverageValue{0.0, -inf}.audit()), std::logic_error);
+  EXPECT_NO_THROW((CoverageValue{-1.0, 3.5}.audit()));
 }
 
 }  // namespace

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "test_util.h"
+#include "util/rng.h"
 
 namespace photodtn {
 namespace {
@@ -74,6 +77,42 @@ TEST(PhotoStore, UsedBytesTracksMixedOperations) {
   s.add(photo(3, 100));
   EXPECT_EQ(s.used_bytes(), 300u);
   EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(PhotoStoreAudit, AccountingMatchesContentsUnderRandomChurn) {
+  // Property: after any add/remove/clear sequence (including rejected adds),
+  // used_bytes() equals the sum of stored sizes and never exceeds capacity —
+  // exactly what audit() asserts.
+  Rng rng(0xBEEF);
+  PhotoStore s(5000);
+  std::uint64_t expected = 0;
+  std::map<PhotoId, std::uint64_t> live;
+  for (int step = 0; step < 500; ++step) {
+    const PhotoId id = static_cast<PhotoId>(rng.uniform_int(1, 40));
+    if (rng.bernoulli(0.6)) {
+      const auto size = static_cast<std::uint64_t>(rng.uniform_int(50, 400));
+      if (s.add(photo(id, size))) {
+        expected += size;
+        live[id] = size;
+      }
+    } else if (s.remove(id)) {
+      expected -= live.at(id);
+      live.erase(id);
+    }
+    ASSERT_NO_THROW(s.audit());
+    ASSERT_EQ(s.used_bytes(), expected);
+    ASSERT_LE(s.used_bytes(), s.capacity_bytes());
+  }
+  s.clear();
+  EXPECT_NO_THROW(s.audit());
+  EXPECT_EQ(s.used_bytes(), 0u);
+}
+
+TEST(PhotoStoreAudit, UnlimitedStorePassesAudit) {
+  PhotoStore s;  // kUnlimited
+  for (PhotoId id = 1; id <= 64; ++id) s.add(photo(id, 1'000'000));
+  EXPECT_NO_THROW(s.audit());
+  EXPECT_EQ(s.used_bytes(), 64u * 1'000'000u);
 }
 
 }  // namespace

@@ -205,5 +205,37 @@ INSTANTIATE_TEST_SUITE_P(Arcs, ArcCenteredSweep,
                                            ArcCase{5.0, 40.0}, ArcCase{270.0, 90.0},
                                            ArcCase{45.0, 180.0}));
 
+TEST(ArcSetAudit, HoldsUnderRandomAddsAndUnions) {
+  // Property: after any sequence of adds (including wrapping and tiny arcs)
+  // the canonical form stays sorted, disjoint, normalized, and bounded by the
+  // circle — the invariants audit() asserts.
+  Rng rng(20260806);
+  for (int rep = 0; rep < 50; ++rep) {
+    ArcSet s;
+    for (int i = 0; i < 40; ++i) {
+      const double start = rng.uniform(-10.0, 10.0);  // any finite start
+      const double length = rng.bernoulli(0.1) ? rng.uniform(0.0, 1e-11)
+                                               : rng.uniform(0.0, kTwoPi * 1.2);
+      s.add(Arc{start, length});
+      ASSERT_NO_THROW(s.audit());
+    }
+    ArcSet other;
+    for (int i = 0; i < 10; ++i)
+      other.add(Arc::centered(rng.uniform(0.0, kTwoPi), rng.uniform(0.0, 1.5)));
+    s.unite(other);
+    ASSERT_NO_THROW(s.audit());
+    ASSERT_NO_THROW(other.audit());
+  }
+}
+
+TEST(ArcSetAudit, EmptyAndFullSetsPass) {
+  ArcSet empty;
+  EXPECT_NO_THROW(empty.audit());
+  ArcSet full;
+  full.add(Arc{0.3, kTwoPi + 1.0});
+  EXPECT_TRUE(full.full());
+  EXPECT_NO_THROW(full.audit());
+}
+
 }  // namespace
 }  // namespace photodtn

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+#include <vector>
 
 namespace photodtn {
 namespace {
@@ -95,6 +97,48 @@ TEST(Prophet, ProbabilitiesStayInUnitInterval) {
       EXPECT_LE(p, 1.0);
     }
   }
+}
+
+TEST(ProphetAudit, HoldsUnderLongEncounterChains) {
+  // Property: after arbitrarily many encounter/age cycles, every delivery
+  // predictability is a finite probability, the table never acquires a self
+  // entry, and aging stays monotone — the invariants audit() asserts.
+  std::vector<ProphetTable> nodes;
+  for (NodeId id = 0; id < 6; ++id) nodes.emplace_back(kCfg, id);
+  double now = 0.0;
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t i = static_cast<std::size_t>(round) % nodes.size();
+    const std::size_t j = (i + 1 + static_cast<std::size_t>(round / 7) % 4) % nodes.size();
+    if (i == j) continue;
+    now += 37.0;
+    ProphetTable::encounter(nodes[i], nodes[j], now);
+    ASSERT_NO_THROW(nodes[i].audit());
+    ASSERT_NO_THROW(nodes[j].audit());
+  }
+  for (auto& n : nodes) {
+    n.age(now + 1e6);  // deep aging decays toward 0 but must stay in range
+    ASSERT_NO_THROW(n.audit());
+  }
+}
+
+TEST(ProphetAudit, RejectsNonDecayingGamma) {
+  ProphetConfig bad = kCfg;
+  bad.gamma = 1.5;  // gamma > 1 would make "aging" amplify predictabilities
+  const ProphetTable t(bad, 1);
+  EXPECT_THROW(t.audit(), std::logic_error);
+}
+
+TEST(ProphetAudit, ExtremeConfigStaysClamped) {
+  // p_init = 1 drives entries to exactly 1.0; repeated updates must not
+  // round above it.
+  ProphetConfig cfg = kCfg;
+  cfg.p_init = 1.0;
+  ProphetTable a(cfg, 1), b(cfg, 2);
+  for (int i = 0; i < 20; ++i) {
+    ProphetTable::encounter(a, b, i * 1.0);
+    ASSERT_NO_THROW(a.audit());
+  }
+  EXPECT_DOUBLE_EQ(a.delivery_prob(2), 1.0);
 }
 
 }  // namespace

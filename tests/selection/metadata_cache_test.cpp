@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+#include <utility>
 
 #include "test_util.h"
+#include "util/check.h"
+#include "util/rng.h"
 
 namespace photodtn {
 namespace {
@@ -108,6 +112,50 @@ TEST_P(PthldSweep, ValidityHorizonGrowsWithThreshold) {
 
 INSTANTIATE_TEST_SUITE_P(Thresholds, PthldSweep,
                          ::testing::Values(0.2, 0.4, 0.6, 0.8, 0.9, 0.95));
+
+TEST(MetadataCacheAudit, HoldsUnderRandomUpdatePruneMergeTraffic) {
+  // Property: any sequence of update/prune/merge_from operations leaves the
+  // cache in a state audit() accepts — owners keyed correctly, lambda >= 0,
+  // delivery probabilities in [0, 1], timestamps finite.
+  Rng rng(0xC0FFEE);
+  MetadataCache a(0.8), b(0.8);
+  for (int step = 0; step < 300; ++step) {
+    const NodeId owner = static_cast<NodeId>(rng.uniform_int(0, 9));
+    MetadataEntry e = entry(owner, rng.uniform(0.0, 1000.0),
+                            rng.uniform(0.0, 0.05), rng.uniform(0.0, 1.0));
+    (rng.bernoulli(0.5) ? a : b).update(std::move(e));
+    if (step % 17 == 0) a.prune(rng.uniform(0.0, 2000.0));
+    if (step % 29 == 0) a.merge_from(b, /*self=*/1);
+    ASSERT_NO_THROW(a.audit());
+    ASSERT_NO_THROW(b.audit());
+  }
+}
+
+TEST(MetadataCacheAudit, UpdateMonotonicityKeepsFreshestSnapshot) {
+  // Expiry/freshness monotonicity: a stale snapshot can never replace a
+  // fresher one, so observed_at per owner is non-decreasing over time.
+  MetadataCache cache(0.8);
+  EXPECT_TRUE(cache.update(entry(3, 100.0, 0.01)));
+  EXPECT_FALSE(cache.update(entry(3, 50.0, 0.01)));  // older: rejected
+  EXPECT_EQ(cache.find(3)->observed_at, 100.0);
+  EXPECT_TRUE(cache.update(entry(3, 150.0, 0.01)));  // fresher: accepted
+  EXPECT_EQ(cache.find(3)->observed_at, 150.0);
+  EXPECT_NO_THROW(cache.audit());
+}
+
+TEST(MetadataCacheAudit, FlagsInvalidEntryFields) {
+  // A negative inter-contact rate is meaningless (eq. 1 needs lambda >= 0).
+  // Debug/audit builds reject it at the update() boundary (DCHECK); release
+  // builds accept the entry, and audit() then reports the corrupted state.
+  MetadataCache cache(0.8);
+  MetadataEntry bad = entry(2, 10.0, /*lambda=*/-0.5);
+  if (dchecks_enabled()) {
+    EXPECT_THROW(cache.update(std::move(bad)), std::logic_error);
+  } else {
+    cache.update(std::move(bad));
+    EXPECT_THROW(cache.audit(), std::logic_error);
+  }
+}
 
 }  // namespace
 }  // namespace photodtn

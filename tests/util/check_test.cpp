@@ -1,0 +1,86 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace photodtn {
+namespace {
+
+TEST(Check, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(PHOTODTN_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(PHOTODTN_CHECK_MSG(true, "never shown"));
+}
+
+TEST(Check, FailureThrowsLogicErrorWithExpressionAndLocation) {
+  try {
+    PHOTODTN_CHECK(2 + 2 == 5);
+    FAIL() << "check did not throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, FailureMessageIncludesCustomText) {
+  try {
+    PHOTODTN_CHECK_MSG(false, "probability drifted");
+    FAIL() << "check did not throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("probability drifted"), std::string::npos);
+  }
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnce) {
+  int evals = 0;
+  PHOTODTN_CHECK([&] { ++evals; return true; }());
+  EXPECT_EQ(evals, 1);
+}
+
+TEST(Dcheck, ActiveExactlyWhenBuildSaysSo) {
+  if (dchecks_enabled()) {
+    EXPECT_THROW(PHOTODTN_DCHECK(false), std::logic_error);
+    EXPECT_THROW(PHOTODTN_DCHECK_MSG(false, "debug only"), std::logic_error);
+  } else {
+    EXPECT_NO_THROW(PHOTODTN_DCHECK(false));
+    EXPECT_NO_THROW(PHOTODTN_DCHECK_MSG(false, "debug only"));
+  }
+}
+
+TEST(Dcheck, CompiledOutVariantDoesNotEvaluateTheExpression) {
+  int evals = 0;
+  PHOTODTN_DCHECK([&] { ++evals; return true; }());
+  EXPECT_EQ(evals, dchecks_enabled() ? 1 : 0);
+}
+
+TEST(Dcheck, PassingConditionIsAlwaysSilent) {
+  EXPECT_NO_THROW(PHOTODTN_DCHECK(true));
+  EXPECT_NO_THROW(PHOTODTN_DCHECK_MSG(true, "fine"));
+}
+
+TEST(Audit, RunsExactlyWhenAuditBuild) {
+  int evals = 0;
+  PHOTODTN_AUDIT([&] { ++evals; }());
+  EXPECT_EQ(evals, audits_enabled() ? 1 : 0);
+}
+
+TEST(Audit, PropagatesAuditFailureInAuditBuilds) {
+  auto failing_audit = [] { PHOTODTN_CHECK_MSG(false, "deep invariant broken"); };
+  if (audits_enabled()) {
+    EXPECT_THROW(PHOTODTN_AUDIT(failing_audit()), std::logic_error);
+  } else {
+    EXPECT_NO_THROW(PHOTODTN_AUDIT(failing_audit()));
+  }
+}
+
+TEST(Audit, EnabledFlagsAreConsistent) {
+  // Audit builds imply dchecks: PHOTODTN_AUDIT_INVARIANTS turns both on.
+  if (audits_enabled()) {
+    EXPECT_TRUE(dchecks_enabled());
+  }
+}
+
+}  // namespace
+}  // namespace photodtn

@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for photodtn.
+
+Fast, dependency-free checks for rules that clang-tidy cannot express and
+that have bitten floating-point/simulation codebases like this one:
+
+  banned-random       rand()/srand()/random() — all randomness must flow
+                      through util/rng.h so experiments stay reproducible.
+  banned-time         std::time/time(nullptr)/clock() as entropy or sim time —
+                      simulation time is explicit, wall clock is not allowed
+                      in library code.
+  angle-compare       direct ==/!= on angle-ish floating-point identifiers
+                      (angle/heading/theta/azimuth/bearing) — use the angle::
+                      helpers (normalize_angle, angle_distance) instead.
+  include-parent      #include "../..." — include paths are rooted at src/.
+  include-bits        #include <bits/...> — non-portable libstdc++ internals.
+  pragma-once         every header starts its include story with #pragma once.
+  own-header-first    foo.cpp includes "module/foo.h" before anything else,
+                      proving each header is self-contained.
+  using-namespace     `using namespace` at namespace scope in a header leaks
+                      into every includer.
+
+Suppress a finding by appending:  // photodtn-lint: allow(<rule>)
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+HEADER_EXTS = {".h", ".hpp"}
+SOURCE_EXTS = {".cpp", ".cc", ".cxx"}
+LINT_DIRS = ["src", "tools", "bench", "examples", "tests"]
+
+ALLOW_RE = re.compile(r"photodtn-lint:\s*allow\(([a-z-]+)\)")
+
+# Rules that apply line by line: (rule, regex, message, applies_to_tests).
+LINE_RULES = [
+    (
+        "banned-random",
+        re.compile(r"(?<![\w:.])(?:std::)?s?rand(?:om)?\s*\("),
+        "raw C randomness; use photodtn::Rng (util/rng.h) so runs stay seeded "
+        "and reproducible",
+        True,
+    ),
+    (
+        "banned-time",
+        re.compile(r"(?<![\w:.])(?:std::)?time\s*\(\s*(?:NULL|nullptr|0|&\w+)?\s*\)"
+                   r"|(?<![\w:.])(?:std::)?clock\s*\(\s*\)"),
+        "wall-clock time in library code; simulation time is explicit and "
+        "entropy comes from util/rng.h",
+        True,
+    ),
+    (
+        "angle-compare",
+        re.compile(
+            r"[\w\].)]*(?:angle|heading|theta|azimuth|bearing)\w*(?:\(\))?"
+            r"\s*[=!]=\s*[-\w.]"
+        ),
+        "direct ==/!= on an angle; compare via angle_distance()/normalize_angle() "
+        "(geometry/angle.h) or an explicit epsilon",
+        False,
+    ),
+    (
+        "include-parent",
+        re.compile(r'#\s*include\s*"\.\./'),
+        'parent-relative include; include paths are rooted at src/ '
+        '(e.g. "geometry/angle.h")',
+        True,
+    ),
+    (
+        "include-bits",
+        re.compile(r"#\s*include\s*<bits/"),
+        "libstdc++ internal header; include the standard header instead",
+        True,
+    ),
+]
+
+STRING_OR_CHAR = re.compile(r'"(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)\'')
+
+
+def strip_comment_and_strings(line: str) -> str:
+    """Removes // comments and string/char literal contents from a line.
+
+    Keeps the structure (so column positions of code stay roughly stable) but
+    prevents rules from firing inside literals or prose.
+    """
+    line = STRING_OR_CHAR.sub('""', line)
+    cut = line.find("//")
+    return line if cut < 0 else line[:cut]
+
+
+class Finding:
+    def __init__(self, path: Path, line_no: int, rule: str, message: str):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.message}"
+
+
+def allowed_rules(raw_line: str) -> set[str]:
+    return set(ALLOW_RE.findall(raw_line))
+
+
+def in_tests(path: Path, root: Path) -> bool:
+    return path.is_relative_to(root / "tests")
+
+
+def check_line_rules(path: Path, lines: list[str], root: Path) -> list[Finding]:
+    findings = []
+    is_test = in_tests(path, root)
+    in_block_comment = False
+    for i, raw in enumerate(lines, start=1):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        start = line.find("/*")
+        if start >= 0 and line.find("*/", start) < 0:
+            in_block_comment = True
+            line = line[:start]
+        code = strip_comment_and_strings(line)
+        allows = allowed_rules(raw)
+        for rule, rx, msg, applies_to_tests in LINE_RULES:
+            if is_test and not applies_to_tests:
+                continue
+            if rule in allows:
+                continue
+            # Include rules must see the path string literal; everything else
+            # must not match inside literals.
+            haystack = line if rule.startswith("include-") else code
+            if rx.search(haystack):
+                findings.append(Finding(path, i, rule, msg))
+    return findings
+
+
+def check_header_rules(path: Path, lines: list[str]) -> list[Finding]:
+    findings = []
+    # pragma-once: first preprocessor directive in a header must be
+    # `#pragma once` (leading comments are fine).
+    first_directive = next(
+        (l.strip() for l in lines if l.lstrip().startswith("#")), None)
+    if first_directive != "#pragma once":
+        findings.append(Finding(
+            path, 1, "pragma-once",
+            "headers must open with #pragma once before any other directive"))
+    # using-namespace at namespace scope in a header.
+    in_block_comment = False
+    for i, raw in enumerate(lines, start=1):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        start = line.find("/*")
+        if start >= 0 and line.find("*/", start) < 0:
+            in_block_comment = True
+            line = line[:start]
+        code = strip_comment_and_strings(line)
+        if "using-namespace" in allowed_rules(raw):
+            continue
+        if re.search(r"(?<!\w)using\s+namespace\b", code):
+            findings.append(Finding(
+                path, i, "using-namespace",
+                "`using namespace` in a header leaks into every includer; "
+                "qualify names instead"))
+    return findings
+
+
+INCLUDE_RE = re.compile(r'#\s*include\s*["<]([^">]+)[">]')
+
+
+def check_own_header_first(path: Path, lines: list[str], root: Path) -> list[Finding]:
+    """foo.cpp under src/<module>/ must include "<module>/foo.h" first."""
+    rel = path.relative_to(root)
+    if rel.parts[0] != "src" or len(rel.parts) != 3:
+        return []
+    own_header = f"{rel.parts[1]}/{path.stem}.h"
+    if not (root / "src" / own_header).exists():
+        return []
+    for i, raw in enumerate(lines, start=1):
+        m = INCLUDE_RE.search(raw)
+        if not m:
+            continue
+        if "own-header-first" in allowed_rules(raw):
+            return []
+        if m.group(1) == own_header:
+            return []
+        return [Finding(
+            path, i, "own-header-first",
+            f'first include must be "{own_header}" so the header proves '
+            "self-contained")]
+    return []
+
+
+def lint_file(path: Path, root: Path) -> list[Finding]:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as e:
+        return [Finding(path, 1, "unreadable", str(e))]
+    lines = text.splitlines()
+    findings = check_line_rules(path, lines, root)
+    if path.suffix in HEADER_EXTS:
+        findings += check_header_rules(path, lines)
+    else:
+        findings += check_own_header_first(path, lines, root)
+    return findings
+
+
+def collect_files(root: Path, args_paths: list[str]) -> list[Path]:
+    if args_paths:
+        return [Path(p).resolve() for p in args_paths]
+    files = []
+    for d in LINT_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for p in sorted(base.rglob("*")):
+            if p.suffix in HEADER_EXTS | SOURCE_EXTS:
+                files.append(p)
+    return files
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*",
+                        help="files to lint (default: all C++ under "
+                             f"{', '.join(LINT_DIRS)})")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two levels above this script)")
+    args = parser.parse_args()
+
+    root = Path(args.root).resolve() if args.root \
+        else Path(__file__).resolve().parent.parent.parent
+    if not (root / "src").is_dir():
+        print(f"photodtn_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    files = collect_files(root, args.paths)
+    findings = []
+    for f in files:
+        findings.extend(lint_file(f, root))
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"photodtn_lint: {len(findings)} finding(s) in "
+              f"{len({f.path for f in findings})} file(s)", file=sys.stderr)
+        return 1
+    print(f"photodtn_lint: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
