@@ -10,6 +10,7 @@
 #include "selection/expected_coverage.h"
 #include "selection/greedy_selector.h"
 #include "selection/selection_env.h"
+#include "sim/experiment.h"
 #include "util/rng.h"
 #include "workload/photo_gen.h"
 #include "workload/poi_gen.h"
@@ -172,6 +173,185 @@ void BM_Reallocate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Reallocate);
+
+// ------------------------------------------------- incremental engine (perf
+// pipeline: tools/bench/bench_report.py consumes these by name)
+
+/// Dense setting for the engine benches: PoIs packed into a small region so
+/// every PoI is covered by many environment arcs — the regime where the
+/// prefix-sum integration pays off over the per-segment scan.
+struct DenseBench {
+  DenseBench(std::size_t pois, std::size_t candidates, std::uint64_t seed = 42)
+      : rng(seed),
+        poi_list(generate_uniform_pois(pois, 300.0, rng)),
+        model(poi_list, deg_to_rad(30.0)) {
+    ScenarioConfig cfg = ScenarioConfig::mit(seed);
+    cfg.region_m = 300.0;
+    PhotoGenerator gen(cfg, poi_list);
+    // Many small collections over a packed region: segment counts grow with
+    // the number of *distinct-p collections* covering a PoI (each node's own
+    // arcs merge inside its ArcSet), so a wide participant base — not a few
+    // bulk uploaders — is what drives every PoI's miss function to O(100)
+    // breakpoints, the regime the prefix-sum engine is built for.
+    const std::size_t kNodes = 320, kPerNode = 8;
+    for (std::size_t i = 0; i < kNodes * kPerNode + candidates; ++i)
+      pool.push_back(gen.generate_one(0.0, 1, rng).photo);
+    std::size_t next = 0;
+    for (std::size_t n = 0; n < kNodes; ++n) {
+      NodeCollection nc;
+      nc.node = static_cast<NodeId>(n + 1);
+      nc.delivery_prob =
+          0.1 + 0.8 * static_cast<double>(n) / static_cast<double>(kNodes);
+      for (std::size_t k = 0; k < kPerNode; ++k, ++next)
+        nc.footprints.push_back(&model.footprint_cached(pool[next]));
+      collections.push_back(std::move(nc));
+    }
+    for (std::size_t i = 0; i < candidates; ++i, ++next)
+      cands.push_back(&model.footprint_cached(pool[next]));
+  }
+
+  Rng rng;
+  PoiList poi_list;
+  CoverageModel model;
+  std::vector<PhotoMeta> pool;
+  std::vector<NodeCollection> collections;
+  std::vector<const PhotoFootprint*> cands;
+};
+
+/// GreedyPhase::gain with a switchable integral routine: the production
+/// prefix-sum path or the legacy per-segment scan kept as the recorded
+/// baseline. Mirrors GreedyPhase::gain exactly (audited by the differential
+/// tests via PiecewiseMiss::integrate_excluding_scan).
+CoverageValue gain_via(const SelectionEnvironment& env, const GreedyPhase& phase,
+                       const PhotoFootprint& fp, double p, bool scan) {
+  CoverageValue g;
+  for (const PoiArc& pa : fp.arcs) {
+    const PointOfInterest& poi = env.model().pois()[pa.poi_index];
+    const ArcSet& own = phase.own_arcs(pa.poi_index);
+    if (own.empty()) g.point += poi.weight * env.point_miss(pa.poi_index) * p;
+    const double start = normalize_angle(pa.arc.start);
+    const double end = start + std::min(pa.arc.length, kTwoPi);
+    const PiecewiseMiss& pm = env.aspect_miss(pa.poi_index);
+    auto integ = [&](double lo, double hi) {
+      return scan ? pm.integrate_excluding_scan(lo, hi, own)
+                  : pm.integrate_excluding(lo, hi, own);
+    };
+    double integral = 0.0;
+    if (end <= kTwoPi) {
+      integral = integ(start, end);
+    } else {
+      integral = integ(start, kTwoPi) + integ(0.0, end - kTwoPi);
+    }
+    g.aspect += poi.weight * p * integral;
+  }
+  return g;
+}
+
+/// One marginal-gain sweep over every candidate against a committed
+/// selection — the greedy inner loop. range = {pois, candidates}.
+void BM_GreedyGain(benchmark::State& state) {
+  DenseBench db(static_cast<std::size_t>(state.range(0)),
+                static_cast<std::size_t>(state.range(1)));
+  SelectionEnvironment env(db.model, db.collections);
+  GreedyPhase phase(env, 0.7);
+  for (std::size_t i = 0; i < 8 && i < db.cands.size(); ++i)
+    phase.commit(*db.cands[i]);
+  for (auto _ : state) {
+    CoverageValue sum;
+    for (const PhotoFootprint* fp : db.cands) sum += phase.gain(*fp);
+    benchmark::DoNotOptimize(sum);
+  }
+  // Density of the setting, so regressions in the workload generator that
+  // would hollow out the bench show up in the report.
+  std::size_t segs = 0, arcs = 0;
+  for (std::size_t p = 0; p < db.model.pois().size(); ++p)
+    segs += env.aspect_miss(p).segment_count();
+  for (const PhotoFootprint* fp : db.cands) arcs += fp->arcs.size();
+  state.counters["segs_per_poi"] =
+      static_cast<double>(segs) / static_cast<double>(db.model.pois().size());
+  state.counters["arcs_per_cand"] =
+      db.cands.empty() ? 0.0
+                       : static_cast<double>(arcs) / static_cast<double>(db.cands.size());
+}
+BENCHMARK(BM_GreedyGain)->Args({64, 256})->Args({250, 256});
+
+/// The same sweep through the legacy full-scan integration — the perf
+/// baseline the JSON report derives the speedup against.
+void BM_GreedyGainScan(benchmark::State& state) {
+  DenseBench db(static_cast<std::size_t>(state.range(0)),
+                static_cast<std::size_t>(state.range(1)));
+  SelectionEnvironment env(db.model, db.collections);
+  GreedyPhase phase(env, 0.7);
+  for (std::size_t i = 0; i < 8 && i < db.cands.size(); ++i)
+    phase.commit(*db.cands[i]);
+  for (auto _ : state) {
+    CoverageValue sum;
+    for (const PhotoFootprint* fp : db.cands)
+      sum += gain_via(env, phase, *fp, 0.7, /*scan=*/true);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_GreedyGainScan)->Args({64, 256})->Args({250, 256});
+
+/// Cold build of the engine from a full collection list (what a throwaway
+/// per-contact environment costs).
+void BM_SelectionEnvBuild(benchmark::State& state) {
+  DenseBench db(64, 0);
+  for (auto _ : state) {
+    SelectionEnvironment env(db.model, db.collections);
+    benchmark::DoNotOptimize(env.total());
+  }
+}
+BENCHMARK(BM_SelectionEnvBuild);
+
+/// Persistent-engine reconcile: one collection churns (removed, re-added)
+/// and the value is re-queried — only the touched PoIs rebuild.
+void BM_SelectionEnvReconcile(benchmark::State& state) {
+  DenseBench db(64, 0);
+  SelectionEnvironment env(db.model, db.collections);
+  benchmark::DoNotOptimize(env.total());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const NodeCollection& nc = db.collections[i % db.collections.size()];
+    env.remove_collection(nc.node);
+    env.add_collection(nc);
+    benchmark::DoNotOptimize(env.total());
+    ++i;
+  }
+}
+BENCHMARK(BM_SelectionEnvReconcile);
+
+/// Full greedy selection against a dense environment (the per-contact hot
+/// path of the scheme, minus simulator bookkeeping).
+void BM_GreedySelectEnv(benchmark::State& state) {
+  DenseBench db(64, static_cast<std::size_t>(state.range(0)));
+  std::vector<PhotoMeta> pool(db.pool.end() - static_cast<std::ptrdiff_t>(db.cands.size()),
+                              db.pool.end());
+  const GreedySelector sel;
+  for (auto _ : state) {
+    SelectionEnvironment env(db.model, db.collections);
+    GreedyPhase phase(env, 0.7);
+    benchmark::DoNotOptimize(sel.select(db.model, pool, 40ULL * 4'000'000, phase));
+  }
+}
+BENCHMARK(BM_GreedySelectEnv)->Arg(64)->Arg(256);
+
+/// End-to-end: one tiny fixed-seed OurScheme run through the full simulator
+/// (trace, workload, contacts, persistent engines). Tracked in
+/// BENCH_e2e.json for trend regressions.
+void BM_OurSchemeE2E(benchmark::State& state) {
+  ExperimentSpec spec;
+  spec.scenario = ScenarioConfig::mit(1);
+  spec.scenario.num_pois = 40;
+  spec.scenario.photo_rate_per_hour = 60.0;
+  spec.scenario.trace.num_participants = 12;
+  spec.scenario.trace.duration_s = 20.0 * 3600.0;
+  spec.scenario.trace.base_pair_rate_per_hour = 0.3;
+  spec.scenario.sim.node_storage_bytes = 40'000'000;
+  spec.scheme = "OurScheme";
+  for (auto _ : state) benchmark::DoNotOptimize(run_single(spec, 42));
+}
+BENCHMARK(BM_OurSchemeE2E);
 
 // ----------------------------------------------------------------- routing
 

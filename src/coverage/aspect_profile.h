@@ -41,6 +41,11 @@ class AspectProfile {
 
   bool is_uniform() const noexcept { return bps_.empty(); }
 
+  /// Segment breakpoints, normalized to [0, 2*pi), sorted ascending; empty
+  /// for the uniform profile. The selection engine merges these into its
+  /// per-PoI segmentation so weighted integrals stay piecewise-constant.
+  const std::vector<double>& breakpoints() const noexcept { return bps_; }
+
  private:
   // Empty bps_ means constant weight 1. Otherwise vals_[k] applies on
   // [bps_[k], bps_[k+1]) with the last segment wrapping to bps_[0] + 2*pi.

@@ -1,5 +1,8 @@
 #include "coverage/coverage_map.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/check.h"
 
 namespace photodtn {
@@ -26,7 +29,7 @@ CoverageValue CoverageMap::add(const PhotoFootprint& fp) {
   }
   total_ += gained;
   PHOTODTN_AUDIT(gained.audit());
-  PHOTODTN_AUDIT(total_.audit());
+  PHOTODTN_AUDIT(audit());
   return gained;
 }
 
@@ -81,6 +84,30 @@ void CoverageMap::clear() {
   for (auto& a : arcs_) a = ArcSet{};
   std::fill(covered_.begin(), covered_.end(), 0);
   total_ = CoverageValue{};
+}
+
+void CoverageMap::audit() const {
+  PHOTODTN_CHECK_MSG(arcs_.size() == covered_.size() &&
+                         arcs_.size() == model_->pois().size(),
+                     "CoverageMap per-PoI state must match the model");
+  total_.audit();
+  CoverageValue expect;
+  for (std::size_t i = 0; i < arcs_.size(); ++i) {
+    arcs_[i].audit();
+    // Point coverage and aspect arcs always arrive together: a footprint
+    // entry for a PoI both sets the flag and adds an arc of width 2*theta.
+    PHOTODTN_CHECK_MSG((covered_[i] != 0) == !arcs_[i].empty(),
+                       "CoverageMap point flag out of sync with aspect arcs");
+    const PointOfInterest& poi = model_->pois()[i];
+    if (covered_[i]) expect.point += poi.weight;
+    expect.aspect += poi.weight * profile_measure(poi.profile(), arcs_[i]);
+  }
+  PHOTODTN_CHECK_MSG(
+      std::fabs(expect.point - total_.point) <=
+              1e-9 * std::max(1.0, std::fabs(expect.point)) &&
+          std::fabs(expect.aspect - total_.aspect) <=
+              1e-9 * std::max(1.0, std::fabs(expect.aspect)),
+      "CoverageMap accumulated totals diverge from per-PoI state");
 }
 
 CoverageValue coverage_of(const CoverageModel& model,

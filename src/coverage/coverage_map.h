@@ -47,6 +47,12 @@ class CoverageMap {
 
   void clear();
 
+  /// Deep invariant check (audit builds / tests): per-PoI arc sets are
+  /// canonical, point flags match arc presence for point-implying adds, and
+  /// the accumulated totals equal a from-scratch recomputation of the per-PoI
+  /// state. Throws std::logic_error on violation.
+  void audit() const;
+
  private:
   const CoverageModel* model_;
   std::vector<ArcSet> arcs_;       // one per PoI

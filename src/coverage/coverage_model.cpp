@@ -54,4 +54,11 @@ const PhotoFootprint& CoverageModel::footprint_cached(const PhotoMeta& photo) co
   return cache_.emplace(photo.id, footprint(photo)).first->second;
 }
 
+void CoverageModel::footprints_cached(std::span<const PhotoMeta> pool,
+                                      std::vector<const PhotoFootprint*>& out) const {
+  out.clear();
+  out.reserve(pool.size());
+  for (const PhotoMeta& photo : pool) out.push_back(&footprint_cached(photo));
+}
+
 }  // namespace photodtn

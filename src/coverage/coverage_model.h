@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -56,6 +57,13 @@ class CoverageModel {
   /// lookups during selection hit the cache. Thread-compatible (not
   /// thread-safe; each simulation run owns its model).
   const PhotoFootprint& footprint_cached(const PhotoMeta& photo) const;
+
+  /// Batch variant of footprint_cached: fills `out` with one pointer per
+  /// photo in `pool`, same order. Pointers stay valid for the model's
+  /// lifetime (node-based cache). Lets selection resolve a whole candidate
+  /// pool once instead of hashing per greedy evaluation.
+  void footprints_cached(std::span<const PhotoMeta> pool,
+                         std::vector<const PhotoFootprint*>& out) const;
 
   /// Whether a single photo point-covers the given PoI.
   bool covers(const PhotoMeta& photo, const PointOfInterest& poi) const;

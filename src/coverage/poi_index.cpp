@@ -40,6 +40,30 @@ std::size_t PoiIndex::bucket_of(Cell c) const noexcept {
   return static_cast<std::size_t>((ux ^ uy) % table_size_);
 }
 
+void PoiIndex::audit() const {
+  PHOTODTN_CHECK_MSG(cell_m_ > 0.0, "PoiIndex grid pitch must be positive");
+  PHOTODTN_CHECK_MSG(buckets_.size() == table_size_,
+                     "PoiIndex bucket table size out of sync");
+  std::vector<char> seen(points_.size(), 0);
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    for (const auto& [cell, ids] : buckets_[b]) {
+      PHOTODTN_CHECK_MSG(bucket_of(cell) == b,
+                         "PoiIndex cell stored in the wrong bucket");
+      PHOTODTN_CHECK_MSG(!ids.empty(), "PoiIndex cells must hold at least one PoI");
+      for (const std::size_t i : ids) {
+        PHOTODTN_CHECK_MSG(i < points_.size(), "PoiIndex entry out of range");
+        PHOTODTN_CHECK_MSG(!seen[i], "PoiIndex entry indexed twice");
+        seen[i] = 1;
+        const Cell c = cell_of(points_[i]);
+        PHOTODTN_CHECK_MSG(c.x == cell.x && c.y == cell.y,
+                           "PoiIndex entry filed under the wrong cell");
+      }
+    }
+  }
+  for (std::size_t i = 0; i < points_.size(); ++i)
+    PHOTODTN_CHECK_MSG(seen[i], "PoiIndex entry missing from the grid");
+}
+
 void PoiIndex::query(Vec2 center, double radius, std::vector<std::size_t>& out) const {
   out.clear();
   if (points_.empty()) return;

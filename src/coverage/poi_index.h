@@ -26,6 +26,12 @@ class PoiIndex {
 
   std::size_t size() const noexcept { return points_.size(); }
 
+  /// Deep invariant check (audit builds / tests): every PoI appears in
+  /// exactly one bucket, in the bucket its cell hashes to, and cell
+  /// coordinates match the stored location. Throws std::logic_error on
+  /// violation.
+  void audit() const;
+
  private:
   struct Cell {
     std::int64_t x;

@@ -77,16 +77,49 @@ void OurScheme::exchange_metadata(SimContext& ctx, NodeId a, NodeId b, double no
   cb.prune(now);
 }
 
-std::vector<NodeCollection> OurScheme::build_environment(SimContext& ctx, NodeId viewer,
-                                                         NodeId exclude_a,
-                                                         NodeId exclude_b,
-                                                         double now) const {
-  std::vector<NodeCollection> env;
-  if (!cfg_.metadata_enabled) return env;
-  const auto it = caches_.find(viewer);
-  if (it == caches_.end()) return env;
-  for (const MetadataEntry* e : it->second.valid_entries(now)) {
-    if (e->owner == exclude_a || e->owner == exclude_b) continue;
+SelectionEnvironment& OurScheme::sync_engine(SimContext& ctx, NodeId viewer,
+                                             NodeId exclude_a, NodeId exclude_b,
+                                             double now) {
+  auto it = engines_.find(viewer);
+  if (it == engines_.end()) it = engines_.try_emplace(viewer, ctx.model()).first;
+  EngineState& st = it->second;
+
+  // Desired contents: the viewer's validly cached collections, minus the
+  // contact parties (they are live in the reallocation, not environment).
+  std::unordered_map<NodeId, const MetadataEntry*> want;
+  if (cfg_.metadata_enabled) {
+    if (const auto cit = caches_.find(viewer); cit != caches_.end()) {
+      for (const MetadataEntry* e : cit->second.valid_entries(now)) {
+        if (e->owner == exclude_a || e->owner == exclude_b) continue;
+        want.emplace(e->owner, e);
+      }
+    }
+  }
+
+  // Unload collections that disappeared (pruned/excluded) or were restamped
+  // by a fresher snapshot; keep the ones whose revision still matches — their
+  // per-PoI factors are exactly the cached ones.
+  for (auto lit = st.loaded_revs.begin(); lit != st.loaded_revs.end();) {
+    const auto wit = want.find(lit->first);
+    if (wit != want.end() && wit->second->revision == lit->second) {
+      want.erase(wit);
+      ++lit;
+    } else {
+      st.env.remove_collection(lit->first);
+      lit = st.loaded_revs.erase(lit);
+    }
+  }
+
+  // Load what is new or refreshed, in owner order for reproducible engine
+  // state regardless of cache hash order.
+  std::vector<const MetadataEntry*> fresh;
+  fresh.reserve(want.size());
+  for (const auto& [owner, e] : want) fresh.push_back(e);
+  std::sort(fresh.begin(), fresh.end(),
+            [](const MetadataEntry* x, const MetadataEntry* y) {
+              return x->owner < y->owner;
+            });
+  for (const MetadataEntry* e : fresh) {
     NodeCollection nc;
     nc.node = e->owner;
     nc.delivery_prob = e->owner == kCommandCenter ? 1.0 : e->delivery_prob;
@@ -94,9 +127,12 @@ std::vector<NodeCollection> OurScheme::build_environment(SimContext& ctx, NodeId
       const PhotoFootprint& fp = ctx.model().footprint_cached(p);
       if (fp.relevant()) nc.footprints.push_back(&fp);
     }
-    if (!nc.footprints.empty() && nc.delivery_prob > 0.0) env.push_back(std::move(nc));
+    if (nc.footprints.empty() || nc.delivery_prob <= 0.0) continue;
+    st.env.add_collection(nc);
+    st.loaded_revs.emplace(e->owner, e->revision);
   }
-  return env;
+  PHOTODTN_AUDIT(st.env.audit());
+  return st.env;
 }
 
 void OurScheme::on_contact(SimContext& ctx, ContactSession& session) {
@@ -138,46 +174,50 @@ void OurScheme::contact_with_center(SimContext& ctx, ContactSession& session) {
   Node& np = ctx.node(part);
   const CoverageModel& model = ctx.model();
 
-  auto make_center_collection = [&] {
-    NodeCollection cc;
-    cc.node = kCommandCenter;
-    cc.delivery_prob = 1.0;
-    for (const auto& [id, p] : center.store().map()) {
-      const PhotoFootprint& fp = model.footprint_cached(p);
-      if (fp.relevant()) cc.footprints.push_back(&fp);
-    }
-    return cc;
-  };
+  // The participant's persistent engine holds the cached third-party
+  // collections; the center's *live* collection (not its cached snapshot)
+  // joins for the duration of the contact and is removed before returning.
+  SelectionEnvironment& senv = sync_engine(ctx, part, part, kCommandCenter, now);
+  NodeCollection cc;
+  cc.node = kCommandCenter;
+  cc.delivery_prob = 1.0;
+  for (const auto& [id, p] : center.store().map()) {
+    const PhotoFootprint& fp = model.footprint_cached(p);
+    if (fp.relevant()) cc.footprints.push_back(&fp);
+  }
+  senv.add_collection(cc);
 
   // Phase 1 — the center (p = 1) selects which of the participant's photos
   // are worth delivering, against its own collection plus cached metadata.
-  std::vector<NodeCollection> env =
-      build_environment(ctx, part, part, kCommandCenter, now);
-  env.push_back(make_center_collection());
   const std::vector<PhotoMeta> pool = sorted_photos(np.store());
+  std::vector<const PhotoFootprint*> delivered;
   {
-    SelectionEnvironment senv(model, env);
     GreedyPhase phase(senv, 1.0);
     const std::vector<PhotoId> to_deliver =
         selector_.select(model, pool, PhotoStore::kUnlimited, phase);
     for (const PhotoId id : to_deliver) {
       if (center.store().contains(id)) continue;
       if (!session.transfer(id, part, kCommandCenter, /*keep_source=*/true)) break;
+      delivered.push_back(&model.footprint_cached(center.store().map().at(id)));
     }
   }
 
   // Phase 2 — the participant reselects its own buffer against the updated
   // center collection (freshly delivered photos now have zero further value
-  // and are evicted, freeing space). Purely local: no bandwidth needed.
-  env.back() = make_center_collection();
-  SelectionEnvironment senv(model, env);
-  GreedyPhase phase(senv, std::max(np.delivery_prob(now), cfg_.greedy.p_floor));
-  const std::vector<PhotoMeta> own_pool = sorted_photos(np.store());
-  const std::vector<PhotoId> keep =
-      selector_.select(model, own_pool, np.store().capacity_bytes(), phase);
-  const std::unordered_set<PhotoId> keep_set(keep.begin(), keep.end());
-  for (const PhotoMeta& p : own_pool)
-    if (!keep_set.contains(p.id)) ctx.drop_photo(part, p.id);
+  // and are evicted, freeing space). Purely local: no bandwidth needed. The
+  // center never drops photos, so the deliveries extend its live collection
+  // in place — only the PoIs they cover get rebuilt.
+  senv.extend_collection(kCommandCenter, 1.0, delivered);
+  {
+    GreedyPhase phase(senv, std::max(np.delivery_prob(now), cfg_.greedy.p_floor));
+    const std::vector<PhotoMeta> own_pool = sorted_photos(np.store());
+    const std::vector<PhotoId> keep =
+        selector_.select(model, own_pool, np.store().capacity_bytes(), phase);
+    const std::unordered_set<PhotoId> keep_set(keep.begin(), keep.end());
+    for (const PhotoMeta& p : own_pool)
+      if (!keep_set.contains(p.id)) ctx.drop_photo(part, p.id);
+  }
+  senv.remove_collection(kCommandCenter);
 }
 
 void OurScheme::contact_between_participants(SimContext& ctx, ContactSession& session) {
@@ -192,7 +232,7 @@ void OurScheme::contact_between_participants(SimContext& ctx, ContactSession& se
   const double pb = nb.delivery_prob(now);
   const std::vector<PhotoMeta> pool = union_pool(na.store(), nb.store());
   if (pool.empty()) return;
-  const std::vector<NodeCollection> env = build_environment(ctx, a, a, b, now);
+  SelectionEnvironment& env = sync_engine(ctx, a, a, b, now);
 
   const ReallocationPlan plan = selector_.reallocate(
       model, pool, a, pa, na.store().capacity_bytes(), b, pb,

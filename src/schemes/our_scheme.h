@@ -18,6 +18,7 @@
 // photos, so it never "reselects" its own storage).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 
@@ -25,6 +26,7 @@
 #include "dtn/simulator.h"
 #include "selection/greedy_selector.h"
 #include "selection/metadata_cache.h"
+#include "selection/selection_env.h"
 
 namespace photodtn {
 
@@ -59,10 +61,13 @@ class OurScheme : public Scheme {
   void exchange_metadata(SimContext& ctx, NodeId a, NodeId b, double now);
   /// Snapshot entry describing `node`'s current state.
   MetadataEntry snapshot(SimContext& ctx, NodeId node, double now) const;
-  /// Environment = valid cached collections, excluding `exclude_a/b`.
-  std::vector<NodeCollection> build_environment(SimContext& ctx, NodeId viewer,
-                                                NodeId exclude_a, NodeId exclude_b,
-                                                double now) const;
+  /// Reconciles `viewer`'s persistent selection engine with its metadata
+  /// cache: collections whose cached entry disappeared or was restamped are
+  /// removed/reloaded, untouched ones keep their cached per-PoI factors.
+  /// Returns the engine holding every validly cached collection except the
+  /// contact parties.
+  SelectionEnvironment& sync_engine(SimContext& ctx, NodeId viewer,
+                                    NodeId exclude_a, NodeId exclude_b, double now);
   void contact_with_center(SimContext& ctx, ContactSession& session);
   void contact_between_participants(SimContext& ctx, ContactSession& session);
 
@@ -74,9 +79,21 @@ class OurScheme : public Scheme {
                       const std::vector<PhotoId>& peer_target,
                       const std::unordered_map<PhotoId, PhotoMeta>& pool_by_id);
 
+  /// One persistent incremental engine per node, kept in sync with the
+  /// node's metadata cache via revision stamps (schemes live for exactly one
+  /// simulation run, so the engine's model reference stays valid). Between
+  /// contacts only the collections that actually changed are reloaded —
+  /// unchanged PoI factors survive untouched.
+  struct EngineState {
+    explicit EngineState(const CoverageModel& model) : env(model) {}
+    SelectionEnvironment env;
+    std::unordered_map<NodeId, std::uint64_t> loaded_revs;
+  };
+
   OurSchemeConfig cfg_;
   GreedySelector selector_;
   std::unordered_map<NodeId, MetadataCache> caches_;
+  std::unordered_map<NodeId, EngineState> engines_;
 };
 
 }  // namespace photodtn

@@ -37,6 +37,14 @@ struct NodeCollection {
 CoverageValue expected_coverage_exact(const CoverageModel& model,
                                       std::span<const NodeCollection> nodes);
 
+/// C_ex via the incremental per-PoI engine (selection_env.h): collections
+/// are added one at a time through the engine's dirty-tracking path and the
+/// value is assembled from its cached per-PoI factors. Agrees with
+/// expected_coverage_exact to floating-point dust; the differential test
+/// battery pins all three evaluators together.
+CoverageValue expected_coverage_incremental(const CoverageModel& model,
+                                            std::span<const NodeCollection> nodes);
+
 /// Literal Definition 2; requires nodes.size() <= 20.
 CoverageValue expected_coverage_enumerate(const CoverageModel& model,
                                           std::span<const NodeCollection> nodes);

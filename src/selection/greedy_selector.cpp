@@ -13,20 +13,41 @@ bool gain_worth_taking(const CoverageValue& g, double eps) {
   return g.point > eps || g.aspect > eps;
 }
 
+/// Removes a temporarily-added collection even when selection throws, so a
+/// persistent engine is never left polluted with a tentative phase-1 set.
+class ScopedCollection {
+ public:
+  ScopedCollection(SelectionEnvironment& env, const NodeCollection& collection)
+      : env_(&env), node_(collection.node) {
+    env_->add_collection(collection);
+  }
+  ~ScopedCollection() { env_->remove_collection(node_); }
+  ScopedCollection(const ScopedCollection&) = delete;
+  ScopedCollection& operator=(const ScopedCollection&) = delete;
+
+ private:
+  SelectionEnvironment* env_;
+  NodeId node_;
+};
+
 }  // namespace
 
 std::vector<PhotoId> GreedySelector::select(const CoverageModel& model,
                                             std::span<const PhotoMeta> pool,
                                             std::uint64_t capacity_bytes,
                                             GreedyPhase& phase) const {
-  return params_.lazy ? select_lazy(model, pool, capacity_bytes, phase)
-                      : select_plain(model, pool, capacity_bytes, phase);
+  // Resolve every candidate's footprint once up front — gain evaluation then
+  // never touches the model's hash cache (the greedy inner loop re-evaluates
+  // candidates many times).
+  std::vector<const PhotoFootprint*> fps;
+  model.footprints_cached(pool, fps);
+  return params_.lazy ? select_lazy(pool, fps, capacity_bytes, phase)
+                      : select_plain(pool, fps, capacity_bytes, phase);
 }
 
-std::vector<PhotoId> GreedySelector::select_plain(const CoverageModel& model,
-                                                  std::span<const PhotoMeta> pool,
-                                                  std::uint64_t capacity_bytes,
-                                                  GreedyPhase& phase) const {
+std::vector<PhotoId> GreedySelector::select_plain(
+    std::span<const PhotoMeta> pool, std::span<const PhotoFootprint* const> fps,
+    std::uint64_t capacity_bytes, GreedyPhase& phase) const {
   std::vector<PhotoId> chosen;
   std::vector<char> taken(pool.size(), 0);
   std::uint64_t used = 0;
@@ -35,8 +56,11 @@ std::vector<PhotoId> GreedySelector::select_plain(const CoverageModel& model,
     std::size_t best = pool.size();
     for (std::size_t i = 0; i < pool.size(); ++i) {
       if (taken[i] || used + pool[i].size_bytes > capacity_bytes) continue;
-      const CoverageValue g = phase.gain(model.footprint_cached(pool[i]));
-      if (best == pool.size() || g > best_gain) {
+      const CoverageValue g = phase.gain(*fps[i]);
+      // Exact ties go to the lower PhotoId (see the header's determinism
+      // note); ids are unique within a pool, so the winner is unambiguous.
+      if (best == pool.size() || g > best_gain ||
+          (g == best_gain && pool[i].id < pool[best].id)) {
         best_gain = g;
         best = i;
       }
@@ -44,33 +68,33 @@ std::vector<PhotoId> GreedySelector::select_plain(const CoverageModel& model,
     if (best == pool.size() || !gain_worth_taking(best_gain, params_.eps)) break;
     taken[best] = 1;
     used += pool[best].size_bytes;
-    phase.commit(model.footprint_cached(pool[best]));
+    phase.commit(*fps[best]);
     chosen.push_back(pool[best].id);
   }
   return chosen;
 }
 
-std::vector<PhotoId> GreedySelector::select_lazy(const CoverageModel& model,
-                                                 std::span<const PhotoMeta> pool,
-                                                 std::uint64_t capacity_bytes,
-                                                 GreedyPhase& phase) const {
+std::vector<PhotoId> GreedySelector::select_lazy(
+    std::span<const PhotoMeta> pool, std::span<const PhotoFootprint* const> fps,
+    std::uint64_t capacity_bytes, GreedyPhase& phase) const {
   struct Cand {
     CoverageValue gain;
+    PhotoId id;
     std::size_t idx;
     std::uint64_t stamp;
   };
   struct Less {
     bool operator()(const Cand& x, const Cand& y) const {
-      // Ties broken toward the lower pool index so the lazy path selects
-      // exactly what plain greedy would.
+      // Exact ties broken toward the lower PhotoId, matching plain greedy
+      // (which scans the pool but prefers the smaller id on equal gain).
       if (x.gain != y.gain) return x.gain < y.gain;
-      return x.idx > y.idx;
+      return x.id > y.id;
     }
   };
   std::priority_queue<Cand, std::vector<Cand>, Less> heap;
   for (std::size_t i = 0; i < pool.size(); ++i) {
-    const CoverageValue g = phase.gain(model.footprint_cached(pool[i]));
-    if (gain_worth_taking(g, params_.eps)) heap.push({g, i, 0});
+    const CoverageValue g = phase.gain(*fps[i]);
+    if (gain_worth_taking(g, params_.eps)) heap.push({g, pool[i].id, i, 0});
   }
   std::vector<PhotoId> chosen;
   std::uint64_t used = 0;
@@ -83,14 +107,14 @@ std::vector<PhotoId> GreedySelector::select_lazy(const CoverageModel& model,
       // Stale: re-evaluate against the current selection. Submodularity
       // guarantees the fresh gain is <= the cached one, so reinsertion keeps
       // the heap order consistent with plain greedy.
-      top.gain = phase.gain(model.footprint_cached(pool[top.idx]));
+      top.gain = phase.gain(*fps[top.idx]);
       top.stamp = commit_stamp;
       if (gain_worth_taking(top.gain, params_.eps)) heap.push(top);
       continue;
     }
-    phase.commit(model.footprint_cached(pool[top.idx]));
+    phase.commit(*fps[top.idx]);
     used += pool[top.idx].size_bytes;
-    chosen.push_back(pool[top.idx].id);
+    chosen.push_back(top.id);
     ++commit_stamp;
   }
   return chosen;
@@ -99,7 +123,9 @@ std::vector<PhotoId> GreedySelector::select_lazy(const CoverageModel& model,
 ReallocationPlan GreedySelector::reallocate(
     const CoverageModel& model, std::span<const PhotoMeta> pool, NodeId node_a,
     double p_a, std::uint64_t cap_a, NodeId node_b, double p_b, std::uint64_t cap_b,
-    std::span<const NodeCollection> environment) const {
+    SelectionEnvironment& env) const {
+  PHOTODTN_CHECK_MSG(!env.has_collection(node_a) && !env.has_collection(node_b),
+                     "reallocation environment must exclude the contact parties");
   // Higher delivery probability selects first; the command center (p = 1,
   // id 0) always wins ties by id for determinism.
   bool a_first = p_a > p_b || (p_a == p_b && node_a < node_b);
@@ -113,13 +139,13 @@ ReallocationPlan GreedySelector::reallocate(
 
   // Phase 1: maximize C_ex(F_first, ∅) — the peer's collection is excluded,
   // the rest of M stays.
-  SelectionEnvironment env_first(model, environment);
-  GreedyPhase phase_first(env_first, p_first);
+  GreedyPhase phase_first(env, p_first);
   plan.first_target = select(model, pool, cap_first, phase_first);
 
   // Phase 2: the second node selects from the SAME pool, now against the
-  // environment plus the first node's tentative selection.
-  std::vector<NodeCollection> env2(environment.begin(), environment.end());
+  // environment plus the first node's tentative selection. The engine only
+  // rebuilds the PoIs that selection touches; the guard removes the
+  // tentative collection on every exit path.
   NodeCollection first_sel;
   first_sel.node = plan.first;
   // The environment must weigh the first node's photos by its *actual*
@@ -132,12 +158,19 @@ ReallocationPlan GreedySelector::reallocate(
       if (pool[i].id == id) in_first[i] = 1;
   for (std::size_t i = 0; i < pool.size(); ++i)
     if (in_first[i]) first_sel.footprints.push_back(&model.footprint_cached(pool[i]));
-  env2.push_back(std::move(first_sel));
 
-  SelectionEnvironment env_second(model, env2);
-  GreedyPhase phase_second(env_second, p_second);
+  ScopedCollection guard(env, first_sel);
+  GreedyPhase phase_second(env, p_second);
   plan.second_target = select(model, pool, cap_second, phase_second);
   return plan;
+}
+
+ReallocationPlan GreedySelector::reallocate(
+    const CoverageModel& model, std::span<const PhotoMeta> pool, NodeId node_a,
+    double p_a, std::uint64_t cap_a, NodeId node_b, double p_b, std::uint64_t cap_b,
+    std::span<const NodeCollection> environment) const {
+  SelectionEnvironment env(model, environment);
+  return reallocate(model, pool, node_a, p_a, cap_a, node_b, p_b, cap_b, env);
 }
 
 }  // namespace photodtn

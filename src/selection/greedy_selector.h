@@ -11,6 +11,12 @@
 // the selected set (coverage is submodular for a fixed environment), so we
 // use lazy evaluation (Minoux): cached gains are re-evaluated only when a
 // candidate reaches the top of the priority queue.
+//
+// Determinism: candidates whose gains tie exactly are taken in PhotoId
+// order (lowest id first). Pool order, the plain/lazy switch, and the
+// incremental-engine path therefore all produce the same selection — ties
+// are common in practice (identical burst photos, symmetric scenes), and
+// index-based tie-breaking would let two evaluation paths diverge on them.
 #pragma once
 
 #include <cstdint>
@@ -30,7 +36,10 @@ struct GreedyParams {
   /// zero every gain and stall selection before any contact history exists.
   double p_floor = 0.02;
   /// Gains at or below this (lexicographically, on both components) stop
-  /// the selection: "no more benefit can be achieved".
+  /// the selection: "no more benefit can be achieved". The boundary is
+  /// *exclusive* — a candidate whose gain equals eps exactly is never
+  /// taken, so a pool whose gains all sit at the boundary terminates
+  /// immediately instead of stalling on tie-churn.
   double eps = 1e-9;
   /// Use lazy greedy re-evaluation (exact same output as the plain greedy;
   /// exposed so tests can compare both paths).
@@ -58,9 +67,21 @@ class GreedySelector {
                               std::span<const PhotoMeta> pool,
                               std::uint64_t capacity_bytes, GreedyPhase& phase) const;
 
-  /// Two-phase reallocation for a contact. `environment` holds every other
-  /// collection of the node set M (cached valid metadata + command center),
-  /// excluding n_a and n_b themselves.
+  /// Two-phase reallocation for a contact against an incremental
+  /// environment engine. `env` holds every other collection of the node set
+  /// M (cached valid metadata + command center) and must not contain n_a or
+  /// n_b. Phase 2 temporarily adds the first node's tentative selection to
+  /// the engine (touching only the PoIs it covers) and removes it before
+  /// returning, so a persistent engine can be reused across contacts.
+  ReallocationPlan reallocate(const CoverageModel& model,
+                              std::span<const PhotoMeta> pool, NodeId node_a,
+                              double p_a, std::uint64_t cap_a, NodeId node_b,
+                              double p_b, std::uint64_t cap_b,
+                              SelectionEnvironment& env) const;
+
+  /// Convenience overload building a throwaway engine from the collection
+  /// list (the pre-engine call shape; kept for callers and oracles that
+  /// start from plain NodeCollections).
   ReallocationPlan reallocate(const CoverageModel& model,
                               std::span<const PhotoMeta> pool, NodeId node_a,
                               double p_a, std::uint64_t cap_a, NodeId node_b,
@@ -70,12 +91,12 @@ class GreedySelector {
   const GreedyParams& params() const noexcept { return params_; }
 
  private:
-  std::vector<PhotoId> select_plain(const CoverageModel& model,
-                                    std::span<const PhotoMeta> pool,
+  std::vector<PhotoId> select_plain(std::span<const PhotoMeta> pool,
+                                    std::span<const PhotoFootprint* const> fps,
                                     std::uint64_t capacity_bytes,
                                     GreedyPhase& phase) const;
-  std::vector<PhotoId> select_lazy(const CoverageModel& model,
-                                   std::span<const PhotoMeta> pool,
+  std::vector<PhotoId> select_lazy(std::span<const PhotoMeta> pool,
+                                   std::span<const PhotoFootprint* const> fps,
                                    std::uint64_t capacity_bytes,
                                    GreedyPhase& phase) const;
 

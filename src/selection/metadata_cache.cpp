@@ -15,6 +15,7 @@ bool MetadataCache::update(MetadataEntry entry) {
                       "metadata entry delivery probability must be in [0, 1]");
   auto it = entries_.find(entry.owner);
   if (it != entries_.end() && it->second.observed_at >= entry.observed_at) return false;
+  entry.revision = ++next_revision_;
   entries_[entry.owner] = std::move(entry);
   PHOTODTN_AUDIT(audit());
   return true;
@@ -75,7 +76,14 @@ void MetadataCache::audit() const {
                        "MetadataCache entry delivery probability must be in [0, 1]");
     PHOTODTN_CHECK_MSG(std::isfinite(entry.observed_at) && entry.observed_at >= 0.0,
                        "MetadataCache entry observation time must be finite and >= 0");
+    PHOTODTN_CHECK_MSG(entry.revision >= 1 && entry.revision <= next_revision_,
+                       "MetadataCache entry revision outside the issued range");
   }
+  // Revisions are never reused: each accepted entry gets a fresh stamp.
+  std::unordered_map<std::uint64_t, int> seen;
+  for (const auto& [owner, entry] : entries_)
+    PHOTODTN_CHECK_MSG(++seen[entry.revision] == 1,
+                       "MetadataCache revision stamps must be unique");
 }
 
 }  // namespace photodtn

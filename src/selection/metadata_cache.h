@@ -9,6 +9,7 @@
 // monotone acknowledgment set.
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -29,6 +30,12 @@ struct MetadataEntry {
   /// The owner's delivery probability p_a at observation time (used when
   /// building the expected-coverage node set from cached entries).
   double delivery_prob = 0.0;
+  /// Cache-local revision stamp, assigned when the caching MetadataCache
+  /// accepts the entry (monotone per cache, never reused). A persistent
+  /// selection engine compares stamps to detect that its loaded copy of this
+  /// owner's collection went stale, without diffing photo lists. Not carried
+  /// by gossip — each cache restamps on acceptance.
+  std::uint64_t revision = 0;
 };
 
 class MetadataCache {
@@ -73,12 +80,14 @@ class MetadataCache {
   /// lambda >= 0 and are finite, delivery probabilities lie in [0, 1],
   /// observation timestamps are finite and non-negative (update() only ever
   /// replaces an entry with a fresher one, so observed_at is monotone per
-  /// owner), and the validity threshold is a probability. Throws
-  /// std::logic_error on violation.
+  /// owner), revision stamps are unique and within the issued range, and the
+  /// validity threshold is a probability. Throws std::logic_error on
+  /// violation.
   void audit() const;
 
  private:
   double p_thld_;
+  std::uint64_t next_revision_ = 0;  // last revision issued; 0 = none yet
   std::unordered_map<NodeId, MetadataEntry> entries_;
 };
 

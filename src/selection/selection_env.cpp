@@ -4,8 +4,8 @@
 #include <cmath>
 
 #include "geometry/angle.h"
-#include "selection/poi_cover.h"
 #include "util/check.h"
+#include "util/prob.h"
 
 namespace photodtn {
 
@@ -36,93 +36,373 @@ std::vector<std::vector<NodePoiCover>> build_poi_cover_index(
   return index;
 }
 
+// ------------------------------------------------------------ PiecewiseMiss
+
 PiecewiseMiss PiecewiseMiss::build(
-    std::span<const std::pair<double, const ArcSet*>> covers) {
+    std::span<const std::pair<double, const ArcSet*>> covers,
+    const AspectProfile* profile) {
+  const bool weighted = profile != nullptr && !profile->is_uniform();
   PiecewiseMiss out;
-  for (const auto& [p, arcs] : covers) {
-    for (const double b : arcs->boundaries()) out.bps_.push_back(b);
-  }
-  std::sort(out.bps_.begin(), out.bps_.end());
-  out.bps_.erase(std::unique(out.bps_.begin(), out.bps_.end()), out.bps_.end());
-  if (out.bps_.empty()) {
+  std::vector<double> cuts;
+  for (const auto& [p, arcs] : covers)
+    for (const double b : arcs->boundaries()) cuts.push_back(b);
+  if (weighted)
+    for (const double b : profile->breakpoints()) cuts.push_back(b);
+
+  if (cuts.empty()) {
     // Either nothing covers this PoI (constant 1) or some set is the full
-    // circle (constant product).
+    // circle (constant product); the profile is uniform here, since a
+    // non-uniform one always contributes breakpoints.
     double miss = 1.0;
     for (const auto& [p, arcs] : covers)
       if (arcs->full()) miss *= 1.0 - p;
     out.constant_ = miss;
     return out;
   }
-  out.vals_.resize(out.bps_.size());
-  const std::size_t n = out.bps_.size();
+
+  cuts.push_back(0.0);
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  // Sweep the circle once: each cover interval opens at its start and
+  // closes at its end; the running product of active (1 - p) factors is the
+  // segment value. A zero factor (p = 1, the command center) is tracked as
+  // a count so closing it never divides by zero.
+  struct Event {
+    double angle;
+    double factor;
+    bool open;
+  };
+  std::vector<Event> events;
+  for (const auto& [p, arcs] : covers) {
+    const double f = 1.0 - p;
+    for (const auto& [s, e] : arcs->intervals()) {
+      events.push_back({s, f, true});
+      if (e < kTwoPi) events.push_back({e, f, false});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& x, const Event& y) { return x.angle < y.angle; });
+
+  const std::size_t n = cuts.size();
+  out.cuts_ = std::move(cuts);
+  out.vals_.resize(n);
+  if (weighted) out.weights_.resize(n);
+  double product = 1.0;
+  int zeros = 0;
+  std::size_t next_event = 0;
   for (std::size_t k = 0; k < n; ++k) {
-    const double lo = out.bps_[k];
-    const double hi = (k + 1 < n) ? out.bps_[k + 1] : out.bps_[0] + kTwoPi;
-    const double mid = normalize_angle(lo + (hi - lo) / 2.0);
-    double miss = 1.0;
-    for (const auto& [p, arcs] : covers)
-      if (arcs->contains(mid)) miss *= 1.0 - p;
-    out.vals_[k] = miss;
+    const double lo = out.cuts_[k];
+    // Interval endpoints are a subset of the cuts (up to the boundary
+    // dedup epsilon, whose slivers the old midpoint sampling misclassified
+    // the same way); apply everything up to and including this cut.
+    while (next_event < events.size() && events[next_event].angle <= lo) {
+      const Event& ev = events[next_event++];
+      if (ev.factor == 0.0) {
+        zeros += ev.open ? 1 : -1;
+      } else if (ev.open) {
+        product *= ev.factor;
+      } else {
+        product /= ev.factor;
+      }
+    }
+    out.vals_[k] = zeros > 0 ? 0.0 : product;
+    if (weighted) {
+      const double hi = (k + 1 < n) ? out.cuts_[k + 1] : kTwoPi;
+      out.weights_[k] = profile->weight_at(normalize_angle(lo + (hi - lo) / 2.0));
+    }
+  }
+
+  out.prefix_.resize(n + 1);
+  out.prefix_[0] = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double hi = (k + 1 < n) ? out.cuts_[k + 1] : kTwoPi;
+    out.prefix_[k + 1] = out.prefix_[k] + out.rate(k) * (hi - out.cuts_[k]);
   }
   return out;
 }
 
-double PiecewiseMiss::value_at(double angle) const noexcept {
-  if (bps_.empty()) return constant_;
-  const double a = normalize_angle(angle);
-  // Find the last breakpoint <= a; if a precedes the first breakpoint the
-  // wrapping last segment applies.
-  const auto it = std::upper_bound(bps_.begin(), bps_.end(), a);
-  const std::size_t k =
-      it == bps_.begin() ? bps_.size() - 1
-                         : static_cast<std::size_t>(std::distance(bps_.begin(), it)) - 1;
-  return vals_[k];
+std::size_t PiecewiseMiss::segment_of(double a) const noexcept {
+  // cuts_[0] == 0 <= a, so upper_bound is never begin().
+  const auto it = std::upper_bound(cuts_.begin(), cuts_.end(), a);
+  return static_cast<std::size_t>(std::distance(cuts_.begin(), it)) - 1;
 }
 
-double PiecewiseMiss::integrate_excluding(double lo, double hi, const ArcSet& exclude,
-                                          const AspectProfile* profile) const {
+double PiecewiseMiss::value_at(double angle) const noexcept {
+  if (cuts_.empty()) return constant_;
+  return vals_[segment_of(normalize_angle(angle))];
+}
+
+double PiecewiseMiss::integral(double lo, double hi) const noexcept {
+  if (hi <= lo) return 0.0;
+  if (cuts_.empty()) return constant_ * (hi - lo);
+  const std::size_t a = segment_of(lo);
+  const std::size_t b = segment_of(hi);  // hi == 2*pi lands in the last segment
+  if (a == b) return rate(a) * (hi - lo);
+  double total = rate(a) * (cuts_[a + 1] - lo);
+  total += prefix_[b] - prefix_[a + 1];
+  total += rate(b) * (hi - cuts_[b]);
+  return total;
+}
+
+double PiecewiseMiss::integrate_excluding(double lo, double hi,
+                                          const ArcSet& exclude) const {
   PHOTODTN_CHECK(lo >= -1e-12 && hi <= kTwoPi + 1e-12 && lo <= hi + 1e-12);
   lo = std::max(lo, 0.0);
   hi = std::min(hi, kTwoPi);
   if (hi <= lo) return 0.0;
-  const bool weighted = profile != nullptr && !profile->is_uniform();
+  double total = integral(lo, hi);
+  // Subtract the excluded intervals' weighted mass. Intervals are disjoint
+  // and sorted, so both starts and ends are sorted: binary-search the first
+  // interval ending after lo and walk while intervals start before hi.
+  const auto& iv = exclude.intervals();
+  auto it = std::lower_bound(
+      iv.begin(), iv.end(), lo,
+      [](const std::pair<double, double>& seg, double v) { return seg.second <= v; });
+  for (; it != iv.end() && it->first < hi; ++it)
+    total -= integral(std::max(lo, it->first), std::min(hi, it->second));
+  return std::max(0.0, total);
+}
+
+double PiecewiseMiss::integrate_excluding_scan(double lo, double hi,
+                                               const ArcSet& exclude) const {
+  PHOTODTN_CHECK(lo >= -1e-12 && hi <= kTwoPi + 1e-12 && lo <= hi + 1e-12);
+  lo = std::max(lo, 0.0);
+  hi = std::min(hi, kTwoPi);
+  if (hi <= lo) return 0.0;
   auto piece = [&](double l, double h, double val) {
     if (h <= l || val == 0.0) return 0.0;
-    if (weighted) return val * profile->integrate_excluding(l, h, exclude);
     const double len = (h - l) - exclude.overlap_linear(l, h);
     return val * std::max(0.0, len);
   };
-  if (bps_.empty()) return piece(lo, hi, constant_);
+  if (cuts_.empty()) return piece(lo, hi, constant_);
   double total = 0.0;
-  const std::size_t n = bps_.size();
-  for (std::size_t k = 0; k + 1 < n; ++k) {
-    total += piece(std::max(lo, bps_[k]), std::min(hi, bps_[k + 1]), vals_[k]);
+  const std::size_t n = cuts_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double seg_hi = (k + 1 < n) ? cuts_[k + 1] : kTwoPi;
+    total += piece(std::max(lo, cuts_[k]), std::min(hi, seg_hi), rate(k));
   }
-  // Wrapping last segment: [bps_[n-1], 2*pi) and [0, bps_[0]).
-  total += piece(std::max(lo, bps_[n - 1]), hi, vals_[n - 1]);
-  total += piece(lo, std::min(hi, bps_[0]), vals_[n - 1]);
   return total;
 }
 
-SelectionEnvironment::SelectionEnvironment(const CoverageModel& model,
-                                           std::span<const NodeCollection> others)
-    : model_(&model),
-      pt_miss_(model.pois().size(), 1.0),
-      env_(model.pois().size()) {
-  const auto index = build_poi_cover_index(model, others);
-  std::vector<std::pair<double, const ArcSet*>> covers;
-  for (std::size_t poi = 0; poi < index.size(); ++poi) {
-    if (index[poi].empty()) continue;
-    double miss = 1.0;
-    covers.clear();
-    for (const NodePoiCover& c : index[poi]) {
-      miss *= 1.0 - c.p;
-      covers.push_back({c.p, &c.arcs});
-    }
-    pt_miss_[poi] = miss;
-    env_[poi] = PiecewiseMiss::build(covers);
+double PiecewiseMiss::full_integral() const noexcept {
+  if (cuts_.empty()) return constant_ * kTwoPi;
+  return prefix_.back();
+}
+
+void PiecewiseMiss::audit() const {
+  PHOTODTN_CHECK_MSG(std::isfinite(constant_) && constant_ >= 0.0 && constant_ <= 1.0,
+                     "PiecewiseMiss constant must be a probability");
+  if (cuts_.empty()) {
+    PHOTODTN_CHECK_MSG(vals_.empty() && weights_.empty() && prefix_.empty(),
+                       "constant PiecewiseMiss must carry no segments");
+    return;
+  }
+  PHOTODTN_CHECK_MSG(cuts_.front() == 0.0, "PiecewiseMiss cuts must start at 0");
+  PHOTODTN_CHECK_MSG(vals_.size() == cuts_.size() &&
+                         prefix_.size() == cuts_.size() + 1 &&
+                         (weights_.empty() || weights_.size() == cuts_.size()),
+                     "PiecewiseMiss parallel arrays must agree in size");
+  for (std::size_t k = 0; k < cuts_.size(); ++k) {
+    PHOTODTN_CHECK_MSG(cuts_[k] >= 0.0 && cuts_[k] < kTwoPi,
+                       "PiecewiseMiss cut outside [0, 2*pi)");
+    if (k > 0)
+      PHOTODTN_CHECK_MSG(cuts_[k - 1] < cuts_[k], "PiecewiseMiss cuts must ascend");
+    // The sweep's multiply/divide bookkeeping may leave ~ulp dust just
+    // outside [0, 1]; anything beyond that is a real invariant break.
+    PHOTODTN_CHECK_MSG(std::isfinite(vals_[k]) && vals_[k] >= -1e-12 &&
+                           vals_[k] <= 1.0 + 1e-9,
+                       "PiecewiseMiss value must be a probability");
+    if (!weights_.empty())
+      PHOTODTN_CHECK_MSG(std::isfinite(weights_[k]) && weights_[k] >= 0.0,
+                         "PiecewiseMiss weight must be non-negative");
+    const double hi = (k + 1 < cuts_.size()) ? cuts_[k + 1] : kTwoPi;
+    const double expect = prefix_[k] + rate(k) * (hi - cuts_[k]);
+    PHOTODTN_CHECK_MSG(std::fabs(prefix_[k + 1] - expect) <=
+                           1e-9 * std::max(1.0, std::fabs(expect)),
+                       "PiecewiseMiss prefix sums inconsistent with rates");
   }
 }
+
+// ----------------------------------------------------- SelectionEnvironment
+
+SelectionEnvironment::SelectionEnvironment(const CoverageModel& model)
+    : model_(&model), pois_(model.pois().size()) {}
+
+SelectionEnvironment::SelectionEnvironment(const CoverageModel& model,
+                                           std::span<const NodeCollection> others)
+    : SelectionEnvironment(model) {
+  for (const NodeCollection& nc : others) add_collection(nc);
+}
+
+void SelectionEnvironment::add_collection(const NodeCollection& collection) {
+  PHOTODTN_CHECK_MSG(!loaded_.contains(collection.node),
+                     "environment already holds this node's collection");
+  PHOTODTN_CHECK_MSG(is_probability(collection.delivery_prob),
+                     "collection delivery probability must be in [0, 1]");
+  Loaded& entry = loaded_[collection.node];
+  entry.delivery_prob = collection.delivery_prob;
+  // Union the collection's arcs per PoI first, then append one cover entry
+  // per touched PoI (mirrors build_poi_cover_index, without the full-index
+  // allocation).
+  std::unordered_map<std::size_t, ArcSet> arcs_by_poi;
+  for (const PhotoFootprint* fp : collection.footprints)
+    for (const PoiArc& pa : fp->arcs) arcs_by_poi[pa.poi_index].add(pa.arc);
+  entry.touched.reserve(arcs_by_poi.size());
+  for (auto& [poi, arcs] : arcs_by_poi) {
+    PoiState& st = pois_[poi];
+    st.covers.push_back(
+        NodePoiCover{collection.node, collection.delivery_prob, std::move(arcs)});
+    st.dirty = true;
+    entry.touched.push_back(poi);
+  }
+  // Deterministic order keeps audits and rebuild sweeps reproducible.
+  std::sort(entry.touched.begin(), entry.touched.end());
+}
+
+void SelectionEnvironment::extend_collection(
+    NodeId node, double delivery_prob, std::span<const PhotoFootprint* const> extra) {
+  const auto it = loaded_.find(node);
+  if (it == loaded_.end()) {
+    NodeCollection nc;
+    nc.node = node;
+    nc.delivery_prob = delivery_prob;
+    nc.footprints.assign(extra.begin(), extra.end());
+    add_collection(nc);
+    return;
+  }
+  PHOTODTN_CHECK_MSG(it->second.delivery_prob == delivery_prob,
+                     "extend_collection must keep the delivery probability");
+  std::unordered_map<std::size_t, ArcSet> arcs_by_poi;
+  for (const PhotoFootprint* fp : extra)
+    for (const PoiArc& pa : fp->arcs) arcs_by_poi[pa.poi_index].add(pa.arc);
+  for (auto& [poi, arcs] : arcs_by_poi) {
+    PoiState& st = pois_[poi];
+    auto cover = std::find_if(st.covers.begin(), st.covers.end(),
+                              [&](const NodePoiCover& c) { return c.node == node; });
+    if (cover == st.covers.end()) {
+      st.covers.push_back(NodePoiCover{node, delivery_prob, std::move(arcs)});
+      st.dirty = true;
+      it->second.touched.insert(
+          std::upper_bound(it->second.touched.begin(), it->second.touched.end(), poi),
+          poi);
+      continue;
+    }
+    ArcSet merged = cover->arcs;
+    merged.unite(arcs);
+    if (merged == cover->arcs) continue;  // nothing new on this PoI
+    cover->arcs = std::move(merged);
+    st.dirty = true;
+  }
+}
+
+bool SelectionEnvironment::remove_collection(NodeId node) {
+  const auto it = loaded_.find(node);
+  if (it == loaded_.end()) return false;
+  for (const std::size_t poi : it->second.touched) {
+    PoiState& st = pois_[poi];
+    const auto cover = std::find_if(st.covers.begin(), st.covers.end(),
+                                    [&](const NodePoiCover& c) { return c.node == node; });
+    PHOTODTN_CHECK_MSG(cover != st.covers.end(),
+                       "environment cover list out of sync with registry");
+    st.covers.erase(cover);
+    st.dirty = true;
+  }
+  loaded_.erase(it);
+  return true;
+}
+
+void SelectionEnvironment::refresh(std::size_t poi) const {
+  PoiState& st = pois_[poi];
+  double miss = 1.0;
+  std::vector<std::pair<double, const ArcSet*>> covers;
+  covers.reserve(st.covers.size());
+  for (const NodePoiCover& c : st.covers) {
+    miss *= 1.0 - c.p;
+    covers.push_back({c.p, &c.arcs});
+  }
+  st.pt_miss = miss;
+  st.miss = PiecewiseMiss::build(covers, model_->pois()[poi].profile());
+  st.dirty = false;
+  PHOTODTN_AUDIT(st.miss.audit());
+}
+
+double SelectionEnvironment::point_miss(std::size_t poi) const {
+  const PoiState& st = pois_.at(poi);
+  if (st.dirty) refresh(poi);
+  return st.pt_miss;
+}
+
+const PiecewiseMiss& SelectionEnvironment::aspect_miss(std::size_t poi) const {
+  const PoiState& st = pois_.at(poi);
+  if (st.dirty) refresh(poi);
+  return st.miss;
+}
+
+CoverageValue SelectionEnvironment::total() const {
+  CoverageValue out;
+  for (std::size_t poi = 0; poi < pois_.size(); ++poi) {
+    if (pois_[poi].dirty) refresh(poi);
+    const PointOfInterest& p = model_->pois()[poi];
+    const double w_max =
+        p.profile() != nullptr && !p.profile()->is_uniform() ? p.profile()->total()
+                                                             : kTwoPi;
+    out.point += p.weight * (1.0 - pois_[poi].pt_miss);
+    out.aspect += p.weight * (w_max - pois_[poi].miss.full_integral());
+  }
+  return out;
+}
+
+void SelectionEnvironment::audit() const {
+  PHOTODTN_CHECK_MSG(pois_.size() == model_->pois().size(),
+                     "environment PoI state size must match the model");
+  std::vector<std::size_t> cover_counts(pois_.size(), 0);
+  for (const auto& [node, entry] : loaded_) {
+    PHOTODTN_CHECK_MSG(is_probability(entry.delivery_prob),
+                       "loaded collection delivery probability must be in [0, 1]");
+    PHOTODTN_CHECK_MSG(std::is_sorted(entry.touched.begin(), entry.touched.end()) &&
+                           std::adjacent_find(entry.touched.begin(),
+                                              entry.touched.end()) == entry.touched.end(),
+                       "loaded touched-PoI lists must be sorted and unique");
+    for (const std::size_t poi : entry.touched) {
+      PHOTODTN_CHECK_MSG(poi < pois_.size(), "touched PoI out of range");
+      const auto& covers = pois_[poi].covers;
+      const auto it = std::find_if(covers.begin(), covers.end(),
+                                   [&](const NodePoiCover& c) { return c.node == node; });
+      PHOTODTN_CHECK_MSG(it != covers.end(),
+                         "touched PoI missing this node's cover entry");
+      PHOTODTN_CHECK_MSG(it->p == entry.delivery_prob && !it->arcs.empty(),
+                         "cover entry must carry the collection's p and arcs");
+      it->arcs.audit();
+      ++cover_counts[poi];
+    }
+  }
+  for (std::size_t poi = 0; poi < pois_.size(); ++poi) {
+    const PoiState& st = pois_[poi];
+    PHOTODTN_CHECK_MSG(st.covers.size() == cover_counts[poi],
+                       "cover list holds entries no loaded collection owns");
+    if (st.dirty) continue;  // cached terms not built yet — nothing to verify
+    double miss = 1.0;
+    for (const NodePoiCover& c : st.covers) miss *= 1.0 - c.p;
+    PHOTODTN_CHECK_MSG(std::fabs(st.pt_miss - miss) <= 1e-12,
+                       "cached point-miss product out of date");
+    st.miss.audit();
+    // Cross-check the cached miss function against direct products at the
+    // covers' interval midpoints (the same probe the pre-sweep builder used).
+    for (const NodePoiCover& c : st.covers) {
+      for (const auto& [s, e] : c.arcs.intervals()) {
+        const double mid = s + (e - s) / 2.0;
+        double expect = 1.0;
+        for (const NodePoiCover& o : st.covers)
+          if (o.arcs.contains(mid)) expect *= 1.0 - o.p;
+        PHOTODTN_CHECK_MSG(std::fabs(st.miss.value_at(mid) - expect) <= 1e-9,
+                           "cached miss function out of date");
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- GreedyPhase
 
 GreedyPhase::GreedyPhase(const SelectionEnvironment& env, double delivery_prob)
     : env_(&env),
@@ -143,13 +423,12 @@ CoverageValue GreedyPhase::gain(const PhotoFootprint& fp) const {
     const double end = start + std::min(pa.arc.length, kTwoPi);
     const PiecewiseMiss& env_fn = env_->aspect_miss(pa.poi_index);
     const ArcSet& own = own_arcs_[pa.poi_index];
-    const AspectProfile* profile = poi.profile();
     double integral = 0.0;
     if (end <= kTwoPi) {
-      integral = env_fn.integrate_excluding(start, end, own, profile);
+      integral = env_fn.integrate_excluding(start, end, own);
     } else {
-      integral = env_fn.integrate_excluding(start, kTwoPi, own, profile) +
-                 env_fn.integrate_excluding(0.0, end - kTwoPi, own, profile);
+      integral = env_fn.integrate_excluding(start, kTwoPi, own) +
+                 env_fn.integrate_excluding(0.0, end - kTwoPi, own);
     }
     g.aspect += poi.weight * p_ * integral;
   }
@@ -160,6 +439,17 @@ void GreedyPhase::commit(const PhotoFootprint& fp) {
   for (const PoiArc& pa : fp.arcs) {
     own_covered_[pa.poi_index] = 1;
     own_arcs_[pa.poi_index].add(pa.arc);
+  }
+  PHOTODTN_AUDIT(audit());
+}
+
+void GreedyPhase::audit() const {
+  PHOTODTN_CHECK_MSG(own_arcs_.size() == own_covered_.size(),
+                     "GreedyPhase parallel arrays must agree in size");
+  for (std::size_t poi = 0; poi < own_arcs_.size(); ++poi) {
+    own_arcs_[poi].audit();
+    PHOTODTN_CHECK_MSG((own_covered_[poi] != 0) == !own_arcs_[poi].empty(),
+                       "point-covered flag must match committed arc presence");
   }
 }
 

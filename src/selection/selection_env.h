@@ -2,7 +2,9 @@
 // greedy photo selection of Section III-D.
 //
 // When node n selects photos, every *other* collection in the node set M is
-// fixed. Their effect on the expected coverage of each PoI is captured by:
+// fixed. The expected coverage C_ex factors per PoI (Definition 2 +
+// linearity of expectation), so the environment's effect on each PoI is
+// captured by:
 //   * a point "miss factor"  prod_{i != n covering PoI} (1 - p_i), and
 //   * a piecewise-constant aspect "miss function"
 //       env(v) = prod_{i != n: v in A_i} (1 - p_i)
@@ -10,61 +12,166 @@
 // coverage by exactly
 //   dPoint  = w * miss * p_n                  (first covering photo only)
 //   dAspect = w * p_n * integral over (arc minus n's already-selected arcs)
-//             of env(v) dv,
+//             of env(v) * weight(v) dv,
 // so each greedy step is a cheap local computation instead of a full C_ex
-// re-evaluation. GreedyPhase tracks n's tentative selection and exposes
-// gain()/commit().
+// re-evaluation, touching only the PoIs the candidate photo point-covers.
+//
+// The environment is *incremental*: collections can be added, extended and
+// removed (metadata cached, expired, or photos committed at a contact), and
+// only the PoIs the changed collection covers are marked dirty; their
+// cached per-PoI state is rebuilt lazily on the next query. PiecewiseMiss
+// carries prefix-sum integrals (with the PoI's aspect-weight profile baked
+// into the segments), making one marginal-gain integral O(log B) in the
+// number of environment breakpoints instead of O(B).
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "coverage/coverage_model.h"
 #include "coverage/coverage_value.h"
 #include "selection/expected_coverage.h"
+#include "selection/poi_cover.h"
 
 namespace photodtn {
 
-/// Piecewise-constant product-of-misses on the aspect circle of one PoI.
+/// Piecewise-constant product-of-misses on the aspect circle of one PoI,
+/// with prefix-sum integrals of env(v) * weight(v) for O(log B) range
+/// integration. When built with a non-uniform AspectProfile, the profile's
+/// breakpoints are merged into the segmentation and its weight multiplies
+/// the stored integrals (value_at still returns the unweighted env value).
 class PiecewiseMiss {
  public:
-  /// Constant 1 (no other node covers this PoI).
+  /// Constant 1 (no other node covers this PoI, uniform weight).
   PiecewiseMiss() = default;
 
   /// Builds from the covering nodes' arc sets and delivery probabilities.
-  static PiecewiseMiss build(std::span<const std::pair<double, const ArcSet*>> covers);
+  /// `profile` (optional) bakes the PoI's aspect weighting into the
+  /// integrals; a null or uniform profile means weight 1 everywhere.
+  static PiecewiseMiss build(std::span<const std::pair<double, const ArcSet*>> covers,
+                             const AspectProfile* profile = nullptr);
 
-  /// env value at an angle.
+  /// env value at an angle (unweighted miss product).
   double value_at(double angle) const noexcept;
 
-  /// Integral of env (optionally times an aspect-weight profile) over
-  /// [lo, hi] minus the parts covered by `exclude`, for
-  /// 0 <= lo <= hi <= 2*pi (linear; callers split wrapping arcs).
-  double integrate_excluding(double lo, double hi, const ArcSet& exclude,
-                             const AspectProfile* profile = nullptr) const;
+  /// Integral of env(v) * weight(v) over [lo, hi], 0 <= lo <= hi <= 2*pi.
+  /// O(log B) via the prefix sums.
+  double integral(double lo, double hi) const noexcept;
 
-  bool is_constant_one() const noexcept { return bps_.empty() && constant_ == 1.0; }
+  /// integral(lo, hi) minus the parts covered by `exclude`, for
+  /// 0 <= lo <= hi <= 2*pi (linear; callers split wrapping arcs).
+  /// O((1 + excluded intervals in range) * log B).
+  double integrate_excluding(double lo, double hi, const ArcSet& exclude) const;
+
+  /// Reference implementation of integrate_excluding that scans every
+  /// segment (the pre-prefix-sum algorithm). Kept as the recorded perf
+  /// baseline for the bench pipeline and as the audit cross-check; results
+  /// agree with integrate_excluding to floating-point dust.
+  double integrate_excluding_scan(double lo, double hi, const ArcSet& exclude) const;
+
+  /// Integral of env(v) * weight(v) over the whole circle. The environment's
+  /// expected *uncovered* aspect mass of the PoI; C_ex factors through it.
+  double full_integral() const noexcept;
+
+  bool is_constant_one() const noexcept { return cuts_.empty() && constant_ == 1.0; }
+
+  /// Number of constant segments (0 for the constant function). The scan
+  /// baseline is O(segment_count()) per integral; the prefix path O(log).
+  std::size_t segment_count() const noexcept { return cuts_.size(); }
+
+  /// Deep invariant check (audit builds / tests): cuts sorted, starting at
+  /// 0, inside [0, 2*pi); values are probabilities; weights non-negative;
+  /// prefix sums consistent with the per-segment rates. Throws
+  /// std::logic_error on violation.
+  void audit() const;
 
  private:
-  std::vector<double> bps_;   // sorted breakpoints in [0, 2*pi)
-  std::vector<double> vals_;  // vals_[k] on [bps_[k], bps_[k+1]) (last wraps)
-  double constant_ = 1.0;     // value when bps_ is empty
+  double rate(std::size_t seg) const noexcept {
+    return vals_[seg] * (weights_.empty() ? 1.0 : weights_[seg]);
+  }
+  std::size_t segment_of(double a) const noexcept;
+
+  // Linear segmentation of [0, 2*pi): segment k spans
+  // [cuts_[k], cuts_[k+1]) with the last ending at 2*pi; cuts_[0] == 0.
+  // Empty cuts_ means "constant_ everywhere, uniform weight".
+  std::vector<double> cuts_;
+  std::vector<double> vals_;     // env miss product per segment
+  std::vector<double> weights_;  // profile weight per segment; empty = 1
+  std::vector<double> prefix_;   // prefix_[k] = integral of env*w on [0, cuts_[k]);
+                                 // size cuts_.size() + 1, last = full circle
+  double constant_ = 1.0;        // value when cuts_ is empty
 };
 
 class SelectionEnvironment {
  public:
+  /// Empty environment (no other collections yet); grow with
+  /// add_collection.
+  explicit SelectionEnvironment(const CoverageModel& model);
+
   /// `others`: every collection in M except the node that will select.
+  /// Equivalent to adding each collection in order.
   SelectionEnvironment(const CoverageModel& model,
                        std::span<const NodeCollection> others);
 
+  /// Adds a collection (node ids must be unique; footprint pointers only
+  /// need to live for the duration of the call — arcs are copied). Marks
+  /// exactly the PoIs the collection point-covers dirty.
+  void add_collection(const NodeCollection& collection);
+
+  /// Adds photos to an existing collection (or adds the collection when the
+  /// node is not loaded). Used when a collection grows in place — e.g. the
+  /// command center receiving deliveries mid-contact. Only PoIs whose
+  /// covered arcs actually change are marked dirty.
+  void extend_collection(NodeId node, double delivery_prob,
+                         std::span<const PhotoFootprint* const> extra);
+
+  /// Removes a collection; returns false when the node was not loaded.
+  /// Marks only the PoIs the collection covered dirty.
+  bool remove_collection(NodeId node);
+
+  bool has_collection(NodeId node) const noexcept { return loaded_.contains(node); }
+  std::size_t collection_count() const noexcept { return loaded_.size(); }
+
   const CoverageModel& model() const noexcept { return *model_; }
-  double point_miss(std::size_t poi) const { return pt_miss_.at(poi); }
-  const PiecewiseMiss& aspect_miss(std::size_t poi) const { return env_.at(poi); }
+
+  /// Per-PoI cached terms; dirty PoIs are rebuilt on access (lazily, so a
+  /// burst of invalidations followed by queries touching few PoIs only pays
+  /// for those). Thread-compatible, not thread-safe — like CoverageModel's
+  /// footprint cache, each simulation run owns its environment.
+  double point_miss(std::size_t poi) const;
+  const PiecewiseMiss& aspect_miss(std::size_t poi) const;
+
+  /// C_ex of the loaded collections (Definition 2), assembled from the
+  /// per-PoI factors: point = sum w * (1 - miss), aspect = sum
+  /// w * (W_profile - full_integral). Equals expected_coverage_exact on the
+  /// same collections.
+  CoverageValue total() const;
+
+  /// Deep invariant check (audit builds / tests): per-PoI cover lists
+  /// consistent with the loaded-collection registry, point-miss products
+  /// and piecewise miss functions match a from-scratch recomputation, arc
+  /// sets canonical. Throws std::logic_error on violation.
+  void audit() const;
 
  private:
+  struct PoiState {
+    std::vector<NodePoiCover> covers;
+    double pt_miss = 1.0;
+    PiecewiseMiss miss;
+    bool dirty = true;  // initial state must bake in the PoI's profile
+  };
+  struct Loaded {
+    double delivery_prob = 0.0;
+    std::vector<std::size_t> touched;  // PoIs this collection covers
+  };
+
+  void refresh(std::size_t poi) const;
+
   const CoverageModel* model_;
-  std::vector<double> pt_miss_;
-  std::vector<PiecewiseMiss> env_;
+  mutable std::vector<PoiState> pois_;
+  std::unordered_map<NodeId, Loaded> loaded_;
 };
 
 class GreedyPhase {
@@ -85,6 +192,10 @@ class GreedyPhase {
 
   /// The tentative selection's arcs on a PoI (for tests).
   const ArcSet& own_arcs(std::size_t poi) const { return own_arcs_.at(poi); }
+
+  /// Deep invariant check (audit builds / tests): committed arc sets are
+  /// canonical and the point-covered flags match arc presence exactly.
+  void audit() const;
 
  private:
   const SelectionEnvironment* env_;

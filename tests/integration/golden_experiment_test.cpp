@@ -1,0 +1,141 @@
+// Golden end-to-end regression: a fixed-seed tiny experiment for OurScheme
+// and Epidemic, serialized key=value and compared against a checked-in
+// golden file. Any change to the selection engine, the simulator loop, or
+// the schemes that alters observable behavior shows up as a diff here —
+// floating-point keys compare with 1e-9 relative tolerance so pure
+// summation-order dust does not trip it.
+//
+// Regenerate after an *intended* behavior change with
+//   PHOTODTN_REGEN_GOLDEN=1 ./photodtn_tests --gtest_filter='GoldenExperiment.*'
+// and review the golden diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/experiment.h"
+
+#ifndef PHOTODTN_TEST_SOURCE_DIR
+#error "PHOTODTN_TEST_SOURCE_DIR must point at the tests/ source directory"
+#endif
+
+namespace photodtn {
+namespace {
+
+const char* golden_path() {
+  return PHOTODTN_TEST_SOURCE_DIR "/integration/golden/experiment_golden.txt";
+}
+
+ExperimentSpec golden_spec(const std::string& scheme) {
+  ExperimentSpec spec;
+  spec.scenario = ScenarioConfig::mit(1);
+  spec.scenario.num_pois = 24;
+  spec.scenario.photo_rate_per_hour = 60.0;
+  spec.scenario.trace.num_participants = 10;
+  spec.scenario.trace.duration_s = 20.0 * 3600.0;
+  spec.scenario.trace.base_pair_rate_per_hour = 0.3;
+  spec.scenario.sim.sample_interval_s = 5.0 * 3600.0;
+  spec.scenario.sim.node_storage_bytes = 40'000'000;  // 10 photos
+  spec.scheme = scheme;
+  return spec;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Ordered key=value serialization of the two golden runs.
+std::vector<std::pair<std::string, std::string>> compute_lines() {
+  std::vector<std::pair<std::string, std::string>> lines;
+  for (const std::string scheme : {"OurScheme", "Epidemic"}) {
+    const SimResult r = run_single(golden_spec(scheme), 42);
+    auto put = [&](const std::string& key, const std::string& val) {
+      lines.emplace_back(scheme + "." + key, val);
+    };
+    put("final_point", fmt(r.final_coverage.point));
+    put("final_aspect", fmt(r.final_coverage.aspect));
+    put("final_point_norm", fmt(r.final_point_norm));
+    put("final_aspect_norm", fmt(r.final_aspect_norm));
+    put("delivered_photos", std::to_string(r.delivered_photos));
+    put("contacts", std::to_string(r.counters.contacts));
+    put("photos_taken", std::to_string(r.counters.photos_taken));
+    put("transfers", std::to_string(r.counters.transfers));
+    put("bytes_transferred", std::to_string(r.counters.bytes_transferred));
+    put("drops", std::to_string(r.counters.drops));
+    put("samples", std::to_string(r.samples.size()));
+    for (std::size_t i = 0; i < r.samples.size(); ++i) {
+      const std::string p = "sample" + std::to_string(i) + ".";
+      put(p + "time", fmt(r.samples[i].time));
+      put(p + "point", fmt(r.samples[i].point_coverage));
+      put(p + "aspect", fmt(r.samples[i].aspect_coverage));
+      put(p + "delivered", std::to_string(r.samples[i].delivered_photos));
+    }
+    // The delivery order itself is part of the contract (selection order
+    // drives transmissions); record a digest rather than every id.
+    std::uint64_t order_digest = 1469598103934665603ULL;  // FNV-1a
+    for (const PhotoId id : r.delivered_ids) {
+      order_digest ^= static_cast<std::uint64_t>(id);
+      order_digest *= 1099511628211ULL;
+    }
+    put("delivery_order_digest", std::to_string(order_digest));
+  }
+  return lines;
+}
+
+bool is_float_key(const std::string& key) {
+  return key.find("point") != std::string::npos ||
+         key.find("aspect") != std::string::npos ||
+         key.find("time") != std::string::npos;
+}
+
+TEST(GoldenExperiment, MatchesCheckedInGolden) {
+  const auto lines = compute_lines();
+
+  if (const char* regen = std::getenv("PHOTODTN_REGEN_GOLDEN");
+      regen != nullptr && std::string(regen) == "1") {
+    std::ofstream out(golden_path(), std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << golden_path();
+    out << "# Golden results for GoldenExperiment.MatchesCheckedInGolden.\n"
+        << "# Regenerate with PHOTODTN_REGEN_GOLDEN=1 (see the test header).\n";
+    for (const auto& [key, val] : lines) out << key << "=" << val << "\n";
+    GTEST_SKIP() << "golden regenerated at " << golden_path();
+  }
+
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in) << "missing golden file " << golden_path()
+                  << " — run with PHOTODTN_REGEN_GOLDEN=1 to create it";
+  std::map<std::string, std::string> golden;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    ASSERT_NE(eq, std::string::npos) << "malformed golden line: " << line;
+    golden.emplace(line.substr(0, eq), line.substr(eq + 1));
+  }
+  EXPECT_EQ(golden.size(), lines.size()) << "golden key set drifted — regenerate";
+
+  for (const auto& [key, val] : lines) {
+    const auto it = golden.find(key);
+    ASSERT_NE(it, golden.end()) << "key missing from golden: " << key;
+    if (is_float_key(key)) {
+      const double want = std::strtod(it->second.c_str(), nullptr);
+      const double got = std::strtod(val.c_str(), nullptr);
+      EXPECT_NEAR(got, want, 1e-9 * std::max(1.0, std::fabs(want))) << key;
+    } else {
+      EXPECT_EQ(val, it->second) << key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace photodtn

@@ -219,6 +219,98 @@ TEST(GreedySelector, PfloorDoesNotReorderCandidates) {
   EXPECT_EQ(a, b);
 }
 
+TEST(GreedySelector, TiesBreakByPhotoIdRegardlessOfPoolOrder) {
+  // Regression: identical-gain candidates used to be taken in pool order,
+  // so shuffling the pool (or switching lazy <-> plain) changed the
+  // selection. Ties now break toward the lower PhotoId on every path.
+  const CoverageModel model = test::single_poi_model(30.0);
+  test::reset_photo_ids();
+  // Four byte-identical views: every one has exactly the same gain, and
+  // after the first commit the rest gain nothing.
+  std::vector<PhotoMeta> pool{
+      photo_viewing(model.pois()[0], 0.0), photo_viewing(model.pois()[0], 0.0),
+      photo_viewing(model.pois()[0], 0.0), photo_viewing(model.pois()[0], 0.0)};
+  const std::vector<PhotoId> ids{pool[0].id, pool[1].id, pool[2].id, pool[3].id};
+  std::vector<std::size_t> order{0, 1, 2, 3};
+  for (int perm = 0; perm < 24; ++perm) {
+    std::vector<PhotoMeta> shuffled;
+    for (const std::size_t i : order) shuffled.push_back(pool[i]);
+    for (const bool lazy : {false, true}) {
+      GreedyParams params;
+      params.lazy = lazy;
+      SelectionEnvironment env(model, {});
+      GreedyPhase phase(env, 1.0);
+      const auto chosen =
+          GreedySelector(params).select(model, shuffled, 2 * 4'000'000, phase);
+      // The pick is always the lowest id; the clones then gain nothing, so
+      // selection stops after one.
+      EXPECT_EQ(chosen, std::vector<PhotoId>{ids[0]})
+          << "perm " << perm << " lazy " << lazy;
+    }
+    std::next_permutation(order.begin(), order.end());
+  }
+}
+
+TEST(GreedySelector, TiedDistinctGainsSelectSameSequenceOnBothPaths) {
+  // Two disjoint pairs of byte-identical views (the two pairs have the same
+  // gain mathematically, but the 0-degree arc wraps 0/2pi so its integral
+  // can differ from the 180-degree one by ulps — which pair wins first is
+  // therefore not pinned here). What IS pinned: every pool order and both
+  // greedy paths produce the same sequence, and within each bitwise-tied
+  // pair the lower PhotoId wins.
+  const CoverageModel model = test::single_poi_model(30.0);
+  test::reset_photo_ids();
+  std::vector<PhotoMeta> pool{
+      photo_viewing(model.pois()[0], 0.0), photo_viewing(model.pois()[0], 0.0),
+      photo_viewing(model.pois()[0], 180.0), photo_viewing(model.pois()[0], 180.0)};
+  std::vector<PhotoId> reference;
+  std::vector<std::size_t> order{0, 1, 2, 3};
+  for (int perm = 0; perm < 24; ++perm) {
+    std::vector<PhotoMeta> shuffled;
+    for (const std::size_t i : order) shuffled.push_back(pool[i]);
+    for (const bool lazy : {false, true}) {
+      GreedyParams params;
+      params.lazy = lazy;
+      SelectionEnvironment env(model, {});
+      GreedyPhase phase(env, 1.0);
+      const auto chosen =
+          GreedySelector(params).select(model, shuffled, kBigCap, phase);
+      if (reference.empty()) {
+        reference = chosen;
+        // One pick per pair, each the lower id of its pair (the clone gains
+        // exactly zero afterwards and ids break the bitwise tie).
+        ASSERT_EQ(reference.size(), 2u);
+        EXPECT_TRUE((reference[0] == pool[0].id && reference[1] == pool[2].id) ||
+                    (reference[0] == pool[2].id && reference[1] == pool[0].id))
+            << reference[0] << "," << reference[1];
+      }
+      EXPECT_EQ(chosen, reference) << "perm " << perm << " lazy " << lazy;
+    }
+    std::next_permutation(order.begin(), order.end());
+  }
+}
+
+TEST(GreedySelector, EpsBoundaryGainsTerminateWithoutStalling) {
+  // Gains exactly at GreedyParams::eps sit on the exclusive stop boundary:
+  // "no more benefit". A pool full of such candidates must terminate with
+  // an empty selection on both paths instead of churning through ties.
+  const CoverageModel model = test::single_poi_model(30.0);
+  test::reset_photo_ids();
+  std::vector<PhotoMeta> pool{photo_viewing(model.pois()[0], 0.0),
+                              photo_viewing(model.pois()[0], 90.0)};
+  for (const bool lazy : {false, true}) {
+    GreedyParams params;
+    params.lazy = lazy;
+    // Raise eps beyond any attainable gain (point <= 1, aspect <= 2*pi
+    // weighted by w = 1): every candidate is at-or-below the boundary.
+    params.eps = 10.0;
+    SelectionEnvironment env(model, {});
+    GreedyPhase phase(env, 1.0);
+    const auto chosen = GreedySelector(params).select(model, pool, kBigCap, phase);
+    EXPECT_TRUE(chosen.empty()) << "lazy " << lazy;
+  }
+}
+
 TEST(GreedySelector, SkipsPhotosTooLargeForRemainingCapacity) {
   const CoverageModel model = test::single_poi_model(30.0);
   test::reset_photo_ids();

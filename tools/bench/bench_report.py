@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Perf-regression report for the selection engine and the e2e loop.
+
+Runs bench_micro (google-benchmark) with JSON output and distills it into
+two stable, diff-friendly JSON artifacts at the repo root:
+
+  BENCH_selection.json  - engine microbenches (greedy gain, env build,
+                          reconcile, select) with median ns/op per name, plus
+                          the derived prefix-sum vs legacy-scan speedup on
+                          the greedy-gain sweep and whether it meets the
+                          >= 5x target at 64 PoIs / 256 candidates.
+  BENCH_e2e.json        - the end-to-end simulator bench.
+
+CI runs this as a smoke job (with PHOTODTN_BENCH_RUNS reduced) and uploads
+the JSONs as artifacts; numbers committed at the repo root record the perf
+trajectory across PRs (see EXPERIMENTS.md, "Perf trajectory").
+
+Usage:
+  tools/bench/bench_report.py --bench-binary build/bench/bench_micro \
+      [--out-dir .] [--repetitions 5] [--check]
+
+--check exits non-zero when the greedy-gain speedup misses the target —
+advisory in CI smoke runs (shared runners are noisy), enforced locally.
+"""
+
+import argparse
+import json
+import statistics
+import subprocess
+import sys
+from pathlib import Path
+
+SELECTION_FILTER = (
+    "BM_GreedyGain|BM_GreedyGainScan|BM_SelectionEnvBuild|"
+    "BM_SelectionEnvReconcile|BM_GreedySelectEnv"
+)
+E2E_FILTER = "BM_OurSchemeE2E"
+
+# The tentpole target: prefix-sum gain sweep at least 5x the legacy scan at
+# 64 PoIs / 256 candidates.
+TARGET_PAIR = ("BM_GreedyGain/64/256", "BM_GreedyGainScan/64/256")
+TARGET_SPEEDUP = 5.0
+
+
+def git_sha(repo_root: Path) -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def run_bench(binary: Path, bench_filter: str, repetitions: int) -> dict:
+    cmd = [
+        str(binary),
+        f"--benchmark_filter={bench_filter}",
+        "--benchmark_format=json",
+        f"--benchmark_repetitions={repetitions}",
+        "--benchmark_report_aggregates_only=false",
+    ]
+    out = subprocess.run(cmd, capture_output=True, text=True)
+    if out.returncode != 0:
+        sys.stderr.write(out.stderr)
+        raise SystemExit(f"bench run failed: {' '.join(cmd)}")
+    return json.loads(out.stdout)
+
+
+def median_ns_by_name(raw: dict) -> dict:
+    """name -> {median_ns, runs} over the per-repetition iterations."""
+    samples: dict[str, list[float]] = {}
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue  # we aggregate ourselves
+        name = b["name"].split("/repeats:")[0]
+        # Normalize to nanoseconds regardless of the reported time_unit.
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        samples.setdefault(name, []).append(float(b["real_time"]) * scale)
+    return {
+        name: {"median_ns": statistics.median(vals), "runs": len(vals)}
+        for name, vals in sorted(samples.items())
+    }
+
+
+def write_report(path: Path, payload: dict) -> None:
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench-binary", required=True, type=Path)
+    parser.add_argument("--out-dir", type=Path, default=Path("."))
+    parser.add_argument("--repetitions", type=int, default=5)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when the greedy-gain speedup misses the target",
+    )
+    args = parser.parse_args()
+
+    if not args.bench_binary.exists():
+        raise SystemExit(f"bench binary not found: {args.bench_binary}")
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    sha = git_sha(args.out_dir.resolve())
+
+    selection = median_ns_by_name(
+        run_bench(args.bench_binary, SELECTION_FILTER, args.repetitions)
+    )
+    engine, baseline = (selection.get(n) for n in TARGET_PAIR)
+    speedup = (
+        baseline["median_ns"] / engine["median_ns"]
+        if engine and baseline and engine["median_ns"] > 0
+        else None
+    )
+    write_report(
+        args.out_dir / "BENCH_selection.json",
+        {
+            "schema": "photodtn-bench/1",
+            "git_sha": sha,
+            "benchmarks": selection,
+            "derived": {
+                "greedy_gain_speedup": speedup,
+                "speedup_target": TARGET_SPEEDUP,
+                "meets_target": speedup is not None and speedup >= TARGET_SPEEDUP,
+            },
+        },
+    )
+
+    e2e = median_ns_by_name(run_bench(args.bench_binary, E2E_FILTER, args.repetitions))
+    write_report(
+        args.out_dir / "BENCH_e2e.json",
+        {
+            "schema": "photodtn-bench/1",
+            "git_sha": sha,
+            "benchmarks": e2e,
+        },
+    )
+
+    if speedup is not None:
+        print(f"greedy gain speedup (prefix vs scan, 64 PoIs / 256 cands): "
+              f"{speedup:.2f}x (target {TARGET_SPEEDUP:.1f}x)")
+    if args.check and (speedup is None or speedup < TARGET_SPEEDUP):
+        print("FAIL: speedup target missed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
