@@ -336,10 +336,8 @@ void BM_GreedySelectEnv(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedySelectEnv)->Arg(64)->Arg(256);
 
-/// End-to-end: one tiny fixed-seed OurScheme run through the full simulator
-/// (trace, workload, contacts, persistent engines). Tracked in
-/// BENCH_e2e.json for trend regressions.
-void BM_OurSchemeE2E(benchmark::State& state) {
+/// The fixed-seed tiny scenario shared by the e2e benches.
+ExperimentSpec e2e_spec() {
   ExperimentSpec spec;
   spec.scenario = ScenarioConfig::mit(1);
   spec.scenario.num_pois = 40;
@@ -349,9 +347,36 @@ void BM_OurSchemeE2E(benchmark::State& state) {
   spec.scenario.trace.base_pair_rate_per_hour = 0.3;
   spec.scenario.sim.node_storage_bytes = 40'000'000;
   spec.scheme = "OurScheme";
+  return spec;
+}
+
+/// End-to-end: one tiny fixed-seed OurScheme run through the full simulator
+/// (trace, workload, contacts, persistent engines). Tracked in
+/// BENCH_e2e.json for trend regressions. With default (inert) faults this is
+/// also the baseline for the fault-layer overhead check in BENCH_faults.json.
+void BM_OurSchemeE2E(benchmark::State& state) {
+  const ExperimentSpec spec = e2e_spec();
   for (auto _ : state) benchmark::DoNotOptimize(run_single(spec, 42));
 }
 BENCHMARK(BM_OurSchemeE2E);
+
+/// The same scenario under an active fault plan (every class on:
+/// interruptions, churn, jitter, gossip loss). The faulted/clean pair in
+/// BENCH_faults.json separates "what disruption costs the mission" from
+/// "what the fault layer costs the simulator".
+void BM_OurSchemeE2E_Faults(benchmark::State& state) {
+  ExperimentSpec spec = e2e_spec();
+  FaultConfig& f = spec.scenario.sim.faults;
+  f.contact_interrupt_prob = 0.25;
+  f.interrupt_fraction_min = 0.2;
+  f.interrupt_fraction_max = 0.9;
+  f.crash_rate_per_hour = 0.05;
+  f.mean_downtime_s = 2.0 * 3600.0;
+  f.bandwidth_jitter = 0.3;
+  f.gossip_loss_prob = 0.15;
+  for (auto _ : state) benchmark::DoNotOptimize(run_single(spec, 42));
+}
+BENCHMARK(BM_OurSchemeE2E_Faults);
 
 // ----------------------------------------------------------------- routing
 

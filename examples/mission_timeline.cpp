@@ -26,6 +26,9 @@ const char* type_name(SimEvent::Type t) {
     case SimEvent::Type::kTransfer: return "TRANSFER";
     case SimEvent::Type::kDrop: return "DROP    ";
     case SimEvent::Type::kDelivery: return "DELIVERY";
+    case SimEvent::Type::kContactInterrupted: return "LINKCUT ";
+    case SimEvent::Type::kNodeDown: return "CRASH   ";
+    case SimEvent::Type::kNodeUp: return "REBOOT  ";
   }
   return "?";
 }
@@ -65,6 +68,13 @@ int main() {
   cfg.node_storage_bytes = 4ULL * 4'000'000;  // four photos per scout
   cfg.bandwidth_bytes_per_s = 2.0e6;
   cfg.sample_interval_s = 1e9;
+  // A taste of disruption (dtn/fault.h): scout 3's device dies mid-mission
+  // and comes back empty three hours later; one contact in ten loses its
+  // link partway through. Everything below stays deterministic.
+  cfg.faults.scripted_downtime.push_back({3, 4.0 * 3600.0, 7.0 * 3600.0});
+  cfg.faults.contact_interrupt_prob = 0.1;
+  cfg.faults.interrupt_fraction_min = 0.2;
+  cfg.faults.interrupt_fraction_max = 0.8;
   Simulator sim(model, trace, std::move(events), cfg);
 
   std::size_t shown = 0;
@@ -93,6 +103,16 @@ int main() {
         std::printf("[%5.2fh] %s photo #%llu reaches the command center via %d\n", h,
                     type_name(e.type), (unsigned long long)e.photo, e.a);
         break;
+      case SimEvent::Type::kContactInterrupted:
+        std::printf("[%5.2fh] %s link %d <-> %d dies%s\n", h, type_name(e.type), e.a,
+                    e.b, e.photo != 0 ? " mid-transfer (photo lost in flight)" : "");
+        break;
+      case SimEvent::Type::kNodeDown:
+        std::printf("[%5.2fh] %s scout %d goes dark\n", h, type_name(e.type), e.a);
+        break;
+      case SimEvent::Type::kNodeUp:
+        std::printf("[%5.2fh] %s scout %d back online\n", h, type_name(e.type), e.a);
+        break;
     }
   });
 
@@ -105,5 +125,10 @@ int main() {
               (unsigned long long)r.delivered_photos,
               (unsigned long long)r.counters.transfers,
               (unsigned long long)r.counters.drops);
+  std::printf("Disruption: %llu link cuts, %llu contacts missed to downtime, "
+              "%llu photos wiped in the crash.\n",
+              (unsigned long long)r.counters.interrupted_contacts,
+              (unsigned long long)r.counters.missed_contacts,
+              (unsigned long long)r.counters.photos_lost_to_crash);
   return 0;
 }

@@ -1,0 +1,163 @@
+#include "dtn/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/prob.h"
+#include "util/rng.h"
+
+namespace photodtn {
+
+namespace {
+
+/// Mixes a base seed with a tag into an independent stream seed. SplitMix64
+/// over the sum decorrelates neighbouring tags (the Rng constructor mixes
+/// again, so even weak separation here would not correlate the streams).
+std::uint64_t sub_seed(std::uint64_t base, std::uint64_t tag) noexcept {
+  std::uint64_t s = base + 0x9e3779b97f4a7c15ULL * (tag + 1);
+  return splitmix64(s);
+}
+
+void validate_config(const FaultConfig& cfg, NodeId num_nodes) {
+  PHOTODTN_CHECK_MSG(is_probability(cfg.contact_interrupt_prob),
+                     "contact_interrupt_prob must be in [0, 1]");
+  PHOTODTN_CHECK_MSG(is_probability(cfg.gossip_loss_prob),
+                     "gossip_loss_prob must be in [0, 1]");
+  PHOTODTN_CHECK_MSG(cfg.bandwidth_jitter >= 0.0 && cfg.bandwidth_jitter < 1.0,
+                     "bandwidth_jitter must be in [0, 1)");
+  PHOTODTN_CHECK_MSG(0.0 <= cfg.interrupt_fraction_min &&
+                         cfg.interrupt_fraction_min <= cfg.interrupt_fraction_max &&
+                         cfg.interrupt_fraction_max <= 1.0,
+                     "interrupt fractions must satisfy 0 <= min <= max <= 1");
+  PHOTODTN_CHECK_MSG(cfg.crash_rate_per_hour >= 0.0 &&
+                         std::isfinite(cfg.crash_rate_per_hour),
+                     "crash_rate_per_hour must be finite and >= 0");
+  PHOTODTN_CHECK_MSG(cfg.mean_downtime_s >= 0.0 && std::isfinite(cfg.mean_downtime_s),
+                     "mean_downtime_s must be finite and >= 0");
+  for (const Downtime& d : cfg.scripted_downtime) {
+    PHOTODTN_CHECK_MSG(d.node > kCommandCenter && d.node < num_nodes,
+                       "scripted downtime must name a participant in range");
+    PHOTODTN_CHECK_MSG(std::isfinite(d.start) && d.start >= 0.0 && d.end > d.start,
+                       "scripted downtime needs 0 <= start < end");
+  }
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultConfig& cfg, NodeId num_nodes, double horizon,
+                             std::uint64_t seed)
+    : cfg_(cfg), enabled_(cfg.any()), num_nodes_(num_nodes) {
+  validate_config(cfg_, num_nodes);
+  std::uint64_t base = seed ^ (0xFA0175EEDULL + cfg_.salt * 0x9e3779b97f4a7c15ULL);
+  contact_seed_ = splitmix64(base);
+  if (!enabled_) return;
+
+  // Per-node downtime intervals: sampled crash/reboot cycles plus scripted
+  // outages, merged so overlaps collapse into one longer outage.
+  using Interval = std::pair<double, double>;  // [down, up)
+  std::vector<std::vector<Interval>> per_node(static_cast<std::size_t>(num_nodes));
+  const double rate = cfg_.crash_rate_per_hour / 3600.0;
+  if (rate > 0.0) {
+    for (NodeId n = kCommandCenter + 1; n < num_nodes; ++n) {
+      Rng rng(sub_seed(contact_seed_, 0xC4A54000ULL + static_cast<std::uint64_t>(n)));
+      double t = rng.exponential(rate);
+      while (t < horizon) {
+        const double down_len =
+            cfg_.mean_downtime_s > 0.0 ? rng.exponential(1.0 / cfg_.mean_downtime_s) : 0.0;
+        const double up = t + down_len;
+        if (down_len > 0.0)
+          per_node[static_cast<std::size_t>(n)].push_back({t, std::min(up, horizon)});
+        t = up + rng.exponential(rate);
+      }
+    }
+  }
+  for (const Downtime& d : cfg_.scripted_downtime) {
+    if (d.start >= horizon) continue;
+    per_node[static_cast<std::size_t>(d.node)].push_back({d.start, std::min(d.end, horizon)});
+  }
+
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    auto& iv = per_node[static_cast<std::size_t>(n)];
+    if (iv.empty()) continue;
+    std::sort(iv.begin(), iv.end());
+    std::vector<Interval> merged;
+    for (const Interval& i : iv) {
+      if (!merged.empty() && i.first <= merged.back().second) {
+        merged.back().second = std::max(merged.back().second, i.second);
+      } else {
+        merged.push_back(i);
+      }
+    }
+    for (const Interval& i : merged) {
+      transitions_.push_back({i.first, n, /*up=*/false, cfg_.crash_wipes_storage});
+      // An outage running to the horizon never reboots inside the run.
+      if (i.second < horizon) transitions_.push_back({i.second, n, /*up=*/true, false});
+    }
+  }
+  std::sort(transitions_.begin(), transitions_.end(),
+            [](const ChurnTransition& x, const ChurnTransition& y) {
+              if (x.time != y.time) return x.time < y.time;
+              if (x.node != y.node) return x.node < y.node;
+              return x.up < y.up;  // a zero-length outage: down before up
+            });
+  PHOTODTN_AUDIT(audit());
+}
+
+ContactFault FaultInjector::contact_fault(std::size_t contact_index) const {
+  ContactFault f;
+  if (!enabled_) return f;
+  // One private stream per contact: a pure function of (seed, index), so
+  // faults are identical no matter how many contacts a run actually reaches.
+  Rng rng(sub_seed(contact_seed_, 0xC047AC7ULL + contact_index));
+  if (cfg_.bandwidth_jitter > 0.0)
+    f.bandwidth_factor = rng.uniform(1.0 - cfg_.bandwidth_jitter, 1.0);
+  if (cfg_.contact_interrupt_prob > 0.0 && rng.bernoulli(cfg_.contact_interrupt_prob)) {
+    f.interrupted = true;
+    f.keep_fraction =
+        cfg_.interrupt_fraction_min == cfg_.interrupt_fraction_max
+            ? cfg_.interrupt_fraction_min
+            : rng.uniform(cfg_.interrupt_fraction_min, cfg_.interrupt_fraction_max);
+  }
+  if (cfg_.gossip_loss_prob > 0.0) {
+    f.gossip_lost_ab = rng.bernoulli(cfg_.gossip_loss_prob);
+    f.gossip_lost_ba = rng.bernoulli(cfg_.gossip_loss_prob);
+  }
+  return f;
+}
+
+void FaultInjector::audit() const {
+  validate_config(cfg_, num_nodes_ == 0 ? std::numeric_limits<NodeId>::max() : num_nodes_);
+  double prev = -1.0;
+  std::vector<char> down(static_cast<std::size_t>(std::max<NodeId>(num_nodes_, 1)), 0);
+  for (const ChurnTransition& tr : transitions_) {
+    PHOTODTN_CHECK_MSG(std::isfinite(tr.time) && tr.time >= 0.0,
+                       "churn transition time must be finite and >= 0");
+    PHOTODTN_CHECK_MSG(tr.time >= prev, "churn transitions must be time-sorted");
+    prev = tr.time;
+    PHOTODTN_CHECK_MSG(tr.node > kCommandCenter && tr.node < num_nodes_,
+                       "churn must hit a participant, never the command center");
+    char& d = down[static_cast<std::size_t>(tr.node)];
+    PHOTODTN_CHECK_MSG(d == (tr.up ? 1 : 0),
+                       "per-node churn transitions must alternate down/up");
+    d = tr.up ? 0 : 1;
+    PHOTODTN_CHECK_MSG(tr.up || tr.wipe == cfg_.crash_wipes_storage,
+                       "down transitions must carry the configured wipe policy");
+  }
+}
+
+std::uint64_t contact_payload_budget(double bandwidth_bytes_per_s, double duration_s,
+                                     double setup_s, double bandwidth_factor) {
+  const double payload_time = duration_s - setup_s;
+  // !(x > 0) also catches NaN from degenerate inputs: the budget is 0, not
+  // whatever the double->uint64 conversion of garbage would produce.
+  if (!(payload_time > 0.0)) return 0;
+  const double cap = bandwidth_bytes_per_s * bandwidth_factor * payload_time;
+  if (!(cap > 0.0)) return 0;
+  // 2^64 as a double; conversions of values >= this (or infinity) are UB.
+  if (cap >= 18446744073709551616.0) return ~0ULL;
+  return static_cast<std::uint64_t>(cap);
+}
+
+}  // namespace photodtn

@@ -1,0 +1,139 @@
+// Deterministic fault injection for the DTN simulator (disruption is the
+// paper's whole operating regime — §I — yet an unperturbed trace replay
+// never exercises it). A FaultInjector derives every perturbation from
+// (seed, FaultConfig) alone, so a faulted run is exactly as reproducible as
+// a clean one:
+//
+//   * contact interruption — a contact's link dies after a sampled fraction
+//     of its physical byte capacity; whether that manifests as a clean early
+//     end or a mid-transfer cut depends on where transfer boundaries land
+//     (ContactSession implements the partial-transfer semantics);
+//   * node churn — participants crash (optionally wiping storage and
+//     routing soft state), stay down for a sampled interval during which
+//     they miss contacts and captures, then reboot;
+//   * degraded links — per-contact bandwidth jitter and per-direction
+//     metadata-gossip loss (payload transfers are acknowledged end-to-end;
+//     metadata rides best-effort datagrams, so only it can silently vanish).
+//
+// The schedule is precomputed at construction: churn transitions are merged
+// into disjoint per-node downtime intervals, and per-contact faults are a
+// pure hash of (seed, contact index), so they are independent of call order
+// and of how many contacts a scheme actually uses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coverage/photo.h"  // NodeId, kCommandCenter
+
+namespace photodtn {
+
+/// A scripted outage: `node` is down in [start, end). Used by tests and
+/// hand-built disruption scenarios; merged with the randomly sampled churn.
+struct Downtime {
+  NodeId node = -1;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct FaultConfig {
+  /// Probability a contact's link dies before the contact's nominal end.
+  double contact_interrupt_prob = 0.0;
+  /// Surviving fraction of the link's byte capacity when interrupted,
+  /// sampled uniformly from [min, max). 0 = dies immediately.
+  double interrupt_fraction_min = 0.0;
+  double interrupt_fraction_max = 1.0;
+  /// Per-participant crash rate (Poisson). The command center is
+  /// infrastructure and never churns.
+  double crash_rate_per_hour = 0.0;
+  /// Mean of the exponentially distributed downtime after a crash.
+  double mean_downtime_s = 4.0 * 3600.0;
+  /// true: a crash wipes the node's photo buffer and routing soft state
+  /// (PROPHET table, rate estimator, scheme caches — flash reformat);
+  /// false: only the downtime is suffered (battery pull, storage intact).
+  bool crash_wipes_storage = true;
+  /// Per-contact bandwidth multiplier sampled uniformly from [1 - jitter, 1].
+  double bandwidth_jitter = 0.0;
+  /// Probability, per contact *direction*, that the metadata gossip flowing
+  /// that way is lost (schemes see it via ContactSession::gossip_lost_from).
+  double gossip_loss_prob = 0.0;
+  /// Deterministic outages merged with the sampled churn.
+  std::vector<Downtime> scripted_downtime;
+  /// Extra stream separation: two configs differing only in salt draw
+  /// independent fault schedules from the same simulation seed.
+  std::uint64_t salt = 0;
+
+  /// True when any perturbation can fire.
+  bool any() const noexcept {
+    return contact_interrupt_prob > 0.0 || crash_rate_per_hour > 0.0 ||
+           bandwidth_jitter > 0.0 || gossip_loss_prob > 0.0 ||
+           !scripted_downtime.empty();
+  }
+};
+
+/// The perturbations applied to one contact.
+struct ContactFault {
+  double bandwidth_factor = 1.0;
+  bool interrupted = false;
+  /// Fraction of the link's byte capacity carried before it dies
+  /// (meaningful only when `interrupted`).
+  double keep_fraction = 1.0;
+  bool gossip_lost_ab = false;  // a -> b metadata direction lost
+  bool gossip_lost_ba = false;  // b -> a metadata direction lost
+};
+
+/// One churn edge, in simulation-time order. Per node, transitions strictly
+/// alternate down/up (overlapping sampled + scripted outages are merged).
+struct ChurnTransition {
+  double time = 0.0;
+  NodeId node = -1;
+  bool up = false;    // false: node goes down; true: node reboots
+  bool wipe = false;  // down only: storage/soft state wiped
+};
+
+class FaultInjector {
+ public:
+  /// Disabled injector: no transitions, every contact fault is clean.
+  FaultInjector() = default;
+
+  /// Samples the full churn schedule for `num_nodes` nodes over [0,
+  /// horizon). `seed` is mixed with cfg.salt; the injector draws from its
+  /// own streams and never perturbs the simulation Rng.
+  FaultInjector(const FaultConfig& cfg, NodeId num_nodes, double horizon,
+                std::uint64_t seed);
+
+  bool enabled() const noexcept { return enabled_; }
+  const FaultConfig& config() const noexcept { return cfg_; }
+
+  /// All churn transitions, sorted by (time, node, down-before-up).
+  const std::vector<ChurnTransition>& transitions() const noexcept {
+    return transitions_;
+  }
+
+  /// Faults for the contact at `contact_index` in trace order. A pure
+  /// function of (seed, index): independent of evaluation order.
+  ContactFault contact_fault(std::size_t contact_index) const;
+
+  /// Deep invariant check (audit builds / tests): config probabilities,
+  /// fractions, and rates are valid; transitions are time-sorted with
+  /// finite non-negative times; per node they strictly alternate
+  /// down/up starting with down; the command center never churns. Throws
+  /// std::logic_error on violation.
+  void audit() const;
+
+ private:
+  FaultConfig cfg_;
+  bool enabled_ = false;
+  NodeId num_nodes_ = 0;
+  std::uint64_t contact_seed_ = 0;
+  std::vector<ChurnTransition> transitions_;
+};
+
+/// Payload byte budget of a contact: bandwidth * bandwidth_factor *
+/// (duration - setup). Clamps to exactly 0 when setup >= duration (or any
+/// input is degenerate) and saturates to 2^64-1 instead of invoking the UB
+/// of an out-of-range double -> uint64 conversion.
+std::uint64_t contact_payload_budget(double bandwidth_bytes_per_s, double duration_s,
+                                     double setup_s, double bandwidth_factor = 1.0);
+
+}  // namespace photodtn

@@ -30,6 +30,18 @@ class Scheme {
   /// constraints; the scheme issues transfers/drops through it.
   virtual void on_contact(SimContext& ctx, ContactSession& session) = 0;
 
+  /// Fault-layer churn (dtn/fault.h): `node` crashed and will miss every
+  /// contact until on_node_up. `storage_wiped` reports whether its photo
+  /// buffer and routing soft state were lost. Churn is observable out of
+  /// band (a liveness beacon on the control channel), so schemes may react
+  /// immediately — e.g. invalidating cached metadata — but must never move
+  /// payload here. Default: ignore; every scheme must survive arbitrary
+  /// churn without crashing or double-counting either way.
+  virtual void on_node_down(SimContext& /*ctx*/, NodeId /*node*/,
+                            bool /*storage_wiped*/) {}
+  /// `node` rebooted and attends contacts again (empty-handed if wiped).
+  virtual void on_node_up(SimContext& /*ctx*/, NodeId /*node*/) {}
+
   /// BestPossible sets these: the experiment runner lifts storage and
   /// bandwidth constraints for schemes that request it (Section V-B).
   virtual bool wants_unlimited_storage() const { return false; }

@@ -8,16 +8,46 @@
 namespace photodtn {
 
 ContactSession::ContactSession(Simulator& sim, const Contact& contact,
-                               std::uint64_t budget, bool unlimited)
-    : sim_(sim), contact_(contact), budget_(budget), unlimited_(unlimited) {}
+                               std::uint64_t budget, bool unlimited,
+                               std::uint64_t cut_after_bytes, bool gossip_lost_ab,
+                               bool gossip_lost_ba)
+    : sim_(sim),
+      contact_(contact),
+      budget_(budget),
+      unlimited_(unlimited),
+      cut_after_(cut_after_bytes),
+      gossip_lost_ab_(gossip_lost_ab),
+      gossip_lost_ba_(gossip_lost_ba) {}
 
-bool ContactSession::consume(std::uint64_t bytes) noexcept {
-  if (unlimited_) return true;
-  if (bytes > budget_) {
+std::uint64_t ContactSession::wire_carry(std::uint64_t bytes, PhotoId photo) {
+  PHOTODTN_DCHECK_MSG(!severed_, "a severed session carries no traffic");
+  const std::uint64_t remaining = cut_after_ - spent_;  // cut_after_ >= spent_
+  if (bytes <= remaining) {
+    spent_ += bytes;
+    return bytes;
+  }
+  // The link dies mid-operation: `remaining` wire bytes were transmitted
+  // and are gone, but the operation never completes.
+  spent_ = cut_after_;
+  severed_ = true;
+  ++sim_.counters_.interrupted_contacts;
+  sim_.counters_.partial_bytes += remaining;
+  sim_.emit(SimEvent::Type::kContactInterrupted, contact_.a, contact_.b, photo);
+  return remaining;
+}
+
+bool ContactSession::consume(std::uint64_t bytes) {
+  if (severed_) return false;
+  // The budget bounds what the wire can still carry; the cut may bound it
+  // tighter. Charge only bytes that physically left an antenna.
+  const std::uint64_t sendable = unlimited_ ? bytes : std::min(bytes, budget_);
+  const std::uint64_t carried = wire_carry(sendable, 0);
+  if (!unlimited_) budget_ -= carried;
+  if (severed_) return false;
+  if (sendable < bytes) {  // budget ran dry mid-exchange
     budget_ = 0;
     return false;
   }
-  budget_ -= bytes;
   return true;
 }
 
@@ -41,10 +71,19 @@ bool ContactSession::transfer(PhotoId photo, NodeId from, NodeId to, bool keep_s
     ++sim_.counters_.failed_transfers;
     return false;
   }
+  const std::uint64_t carried = wire_carry(bytes, photo);
+  if (!unlimited_) budget_ -= carried;
+  if (carried < bytes) {
+    // Interrupted mid-flight: the wire bytes are spent, the photo never
+    // materializes at the receiver, and the source keeps its copy (a
+    // half-received file is discarded, a half-sent one is still whole).
+    ++sim_.counters_.interrupted_transfers;
+    ++sim_.counters_.failed_transfers;
+    return false;
+  }
   const PhotoMeta copy = *meta;  // copy before any mutation invalidates `meta`
   const bool added = dst.store().add(copy);
   PHOTODTN_CHECK(added);
-  if (!unlimited_) budget_ -= bytes;
   ++sim_.counters_.transfers;
   sim_.counters_.bytes_transferred += bytes;
   sim_.emit(SimEvent::Type::kTransfer, from, to, photo);
@@ -60,6 +99,8 @@ Simulator::Simulator(const CoverageModel& model, const ContactTrace& trace,
       photo_events_(std::move(photo_events)),
       config_(config),
       rng_(config.seed),
+      faults_(config.faults, trace.num_nodes(), trace.horizon(), config.seed),
+      down_(static_cast<std::size_t>(trace.num_nodes()), 0),
       cc_coverage_(model) {
   std::sort(photo_events_.begin(), photo_events_.end(),
             [](const PhotoEvent& x, const PhotoEvent& y) { return x.time < y.time; });
@@ -76,6 +117,12 @@ Node& Simulator::node(NodeId id) {
   PHOTODTN_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
                      "node id out of range");
   return nodes_[static_cast<std::size_t>(id)];
+}
+
+bool Simulator::is_down(NodeId id) const {
+  PHOTODTN_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < down_.size(),
+                     "node id out of range");
+  return down_[static_cast<std::size_t>(id)] != 0;
 }
 
 bool Simulator::store_photo(NodeId id, const PhotoMeta& photo) {
@@ -99,6 +146,33 @@ void Simulator::register_delivery(NodeId from, const PhotoMeta& photo) {
   emit(SimEvent::Type::kDelivery, from, kCommandCenter, photo.id);
 }
 
+void Simulator::apply_churn(const ChurnTransition& tr, Scheme& scheme) {
+  char& d = down_[static_cast<std::size_t>(tr.node)];
+  if (!tr.up) {
+    PHOTODTN_DCHECK_MSG(d == 0, "down transition for an already-down node");
+    d = 1;
+    ++counters_.node_crashes;
+    Node& n = node(tr.node);
+    if (tr.wipe) {
+      counters_.photos_lost_to_crash += n.store().size();
+      n.store().clear();
+      // Routing soft state dies with the flash: the reboot re-learns rates
+      // and predictabilities from scratch (peers keep their view of us —
+      // only real absence ages it, which is exactly the §III-B regime the
+      // metadata-validity rule hedges against).
+      n.prophet() = ProphetTable(config_.prophet, tr.node);
+      n.rates() = RateEstimator(now_);
+    }
+    emit(SimEvent::Type::kNodeDown, tr.node, -1, 0);
+    scheme.on_node_down(*this, tr.node, tr.wipe);
+  } else {
+    PHOTODTN_DCHECK_MSG(d == 1, "up transition for a node that is not down");
+    d = 0;
+    emit(SimEvent::Type::kNodeUp, tr.node, -1, 0);
+    scheme.on_node_up(*this, tr.node);
+  }
+}
+
 void Simulator::take_sample() {
   SimSample s;
   s.time = now_;
@@ -117,18 +191,21 @@ SimResult Simulator::run(Scheme& scheme) {
   scheme.init(*this);
 
   const auto& contacts = trace_->contacts();
+  const auto& churn = faults_.transitions();
   std::size_t ci = 0;  // next contact
   std::size_t pi = 0;  // next photo event
+  std::size_t fi = 0;  // next churn transition
   double next_sample = 0.0;
 
   auto next_event_time = [&]() {
     double t = trace_->horizon();
     if (ci < contacts.size()) t = std::min(t, contacts[ci].start);
     if (pi < photo_events_.size()) t = std::min(t, photo_events_[pi].time);
+    if (fi < churn.size()) t = std::min(t, churn[fi].time);
     return t;
   };
 
-  while (ci < contacts.size() || pi < photo_events_.size()) {
+  while (ci < contacts.size() || pi < photo_events_.size() || fi < churn.size()) {
     const double t = next_event_time();
     while (next_sample <= t) {
       now_ = next_sample;
@@ -136,6 +213,12 @@ SimResult Simulator::run(Scheme& scheme) {
       next_sample += config_.sample_interval_s;
     }
     now_ = t;
+    // Churn strictly before concurrent photos and contacts: a node down at
+    // instant t misses the contact at t; one rebooting at t attends it.
+    if (fi < churn.size() && churn[fi].time <= t) {
+      apply_churn(churn[fi++], scheme);
+      continue;
+    }
     // Photo events strictly before concurrent contacts: a photo taken at the
     // instant of a contact is available to that contact.
     if (pi < photo_events_.size() && photo_events_[pi].time <= t &&
@@ -143,12 +226,23 @@ SimResult Simulator::run(Scheme& scheme) {
       const PhotoEvent& ev = photo_events_[pi++];
       PHOTODTN_CHECK_MSG(ev.node > kCommandCenter && ev.node < num_nodes(),
                          "photo taken by unknown node");
+      if (down_[static_cast<std::size_t>(ev.node)]) {
+        ++counters_.photos_missed_down;  // a crashed device takes no photos
+        continue;
+      }
       ++counters_.photos_taken;
       emit(SimEvent::Type::kPhotoTaken, ev.node, -1, ev.photo.id);
       scheme.on_photo_taken(*this, ev.node, ev.photo);
       continue;
     }
+    const std::size_t contact_index = ci;
     const Contact& c = contacts[ci++];
+    if (down_[static_cast<std::size_t>(c.a)] || down_[static_cast<std::size_t>(c.b)]) {
+      // Real absence: no rate/PROPHET update, no metadata, no payload — the
+      // surviving peer does not even know the opportunity existed.
+      ++counters_.missed_contacts;
+      continue;
+    }
     ++counters_.contacts;
     emit(SimEvent::Type::kContact, c.a, c.b, 0);
     Node& na = node(c.a);
@@ -158,11 +252,31 @@ SimResult Simulator::run(Scheme& scheme) {
     ProphetTable::encounter(na.prophet(), nb.prophet(), c.start);
 
     const bool unlimited = config_.unlimited_bandwidth;
-    const double payload_time = std::max(0.0, c.duration - config_.contact_setup_s);
-    const double cap = config_.bandwidth_bytes_per_s * payload_time;
-    const auto budget =
-        unlimited ? ~0ULL : static_cast<std::uint64_t>(std::max(0.0, cap));
-    ContactSession session(*this, c, budget, unlimited);
+    // Faults are keyed by trace position, not processing order, so one
+    // contact's plan never shifts because an earlier one was missed.
+    const ContactFault cf =
+        faults_.enabled() ? faults_.contact_fault(contact_index) : ContactFault{};
+    const std::uint64_t budget =
+        unlimited ? ~0ULL
+                  : contact_payload_budget(config_.bandwidth_bytes_per_s, c.duration,
+                                           config_.contact_setup_s, cf.bandwidth_factor);
+    std::uint64_t cut = ContactSession::kNoCut;
+    if (cf.interrupted) {
+      // The cut is a fraction of the link's *physical* capacity (nominal
+      // bandwidth x jittered rate x airtime) — an unlimited-budget oracle
+      // still suffers it; radios fail regardless of accounting policy.
+      const std::uint64_t capacity =
+          contact_payload_budget(config_.bandwidth_bytes_per_s, c.duration,
+                                 config_.contact_setup_s, cf.bandwidth_factor);
+      const double scaled = cf.keep_fraction * static_cast<double>(capacity);
+      cut = scaled >= static_cast<double>(capacity)
+                ? capacity
+                : static_cast<std::uint64_t>(scaled);
+    }
+    counters_.gossip_losses +=
+        static_cast<std::uint64_t>(cf.gossip_lost_ab) + (cf.gossip_lost_ba ? 1u : 0u);
+    ContactSession session(*this, c, budget, unlimited, cut, cf.gossip_lost_ab,
+                           cf.gossip_lost_ba);
     scheme.on_contact(*this, session);
   }
 

@@ -13,6 +13,7 @@
 
 #include "coverage/coverage_map.h"
 #include "coverage/coverage_model.h"
+#include "dtn/fault.h"
 #include "dtn/node.h"
 #include "dtn/scheme.h"
 #include "trace/contact_trace.h"
@@ -41,6 +42,11 @@ struct SimConfig {
   /// Interval between coverage samples recorded in the result.
   double sample_interval_s = 10.0 * 3600.0;
   ProphetConfig prophet;
+  /// Deterministic disruption plan (dtn/fault.h). Defaults to no faults, in
+  /// which case behaviour is bit-identical to a simulator without the fault
+  /// layer (the injector draws from its own streams, never from `seed`'s
+  /// scheme-visible Rng).
+  FaultConfig faults;
   std::uint64_t seed = 1;
 };
 
@@ -70,6 +76,10 @@ struct SimEvent {
     kTransfer,    // a: source, b: destination, photo
     kDrop,        // a: holder, photo
     kDelivery,    // a: source, photo (arrived at the command center)
+    kContactInterrupted,  // a/b: endpoints; photo: the cut transfer (0 if
+                          // the link died between transfers)
+    kNodeDown,    // a: the node that crashed
+    kNodeUp,      // a: the node that rebooted
   };
   Type type{};
   double time = 0.0;
@@ -81,12 +91,21 @@ struct SimEvent {
 using SimEventListener = std::function<void(const SimEvent&)>;
 
 struct SimCounters {
-  std::uint64_t contacts = 0;
+  std::uint64_t contacts = 0;  // contacts actually held (missed ones excluded)
   std::uint64_t photos_taken = 0;
   std::uint64_t transfers = 0;
-  std::uint64_t bytes_transferred = 0;
+  std::uint64_t bytes_transferred = 0;  // completed transfers only
   std::uint64_t failed_transfers = 0;
   std::uint64_t drops = 0;
+  // Fault-layer observability (all zero on a clean run).
+  std::uint64_t interrupted_contacts = 0;  // links that died with traffic pending
+  std::uint64_t interrupted_transfers = 0;  // photo transfers cut mid-flight
+  std::uint64_t partial_bytes = 0;  // wire bytes burned by cut transfers/gossip
+  std::uint64_t missed_contacts = 0;   // skipped: an endpoint was down
+  std::uint64_t node_crashes = 0;
+  std::uint64_t photos_lost_to_crash = 0;  // wiped from crashed buffers
+  std::uint64_t photos_missed_down = 0;    // captures skipped: photographer down
+  std::uint64_t gossip_losses = 0;  // lost metadata directions across contacts
 };
 
 struct SimResult {
@@ -126,11 +145,21 @@ class SimContext {
   virtual bool drop_photo(NodeId node, PhotoId photo) = 0;
 };
 
-/// A live contact: byte budget plus transfer primitive.
+/// A live contact: byte budget plus transfer primitive. When the fault
+/// layer interrupts the contact, the link carries `cut_after_bytes` of
+/// traffic (payload + metadata) and then dies: the transfer in flight at
+/// that instant consumes its wire bytes but does NOT materialize at the
+/// receiver, and every later operation fails. A severed session stays
+/// severed — schemes cannot observe the cut in advance (can_transfer only
+/// reflects the budget), exactly like a real link drop.
 class ContactSession {
  public:
+  /// `cut_after_bytes` == kNoCut: the link survives the whole contact.
+  static constexpr std::uint64_t kNoCut = ~0ULL;
+
   ContactSession(Simulator& sim, const Contact& contact, std::uint64_t budget,
-                 bool unlimited);
+                 bool unlimited, std::uint64_t cut_after_bytes = kNoCut,
+                 bool gossip_lost_ab = false, bool gossip_lost_ba = false);
 
   NodeId a() const noexcept { return contact_.a; }
   NodeId b() const noexcept { return contact_.b; }
@@ -143,14 +172,28 @@ class ContactSession {
 
   bool unlimited() const noexcept { return unlimited_; }
   std::uint64_t budget_bytes() const noexcept { return budget_; }
+  /// Whether the budget admits `bytes` more. Deliberately blind to a
+  /// pending interruption: the cut reveals itself only when traffic hits it.
   bool can_transfer(std::uint64_t bytes) const noexcept {
-    return unlimited_ || bytes <= budget_;
+    return !severed_ && (unlimited_ || bytes <= budget_);
+  }
+
+  /// True once the fault layer cut this contact's link.
+  bool severed() const noexcept { return severed_; }
+  /// Total wire bytes this session moved (completed + partial).
+  std::uint64_t bytes_used() const noexcept { return spent_; }
+  /// True when the metadata gossip flowing from `from` to its peer was lost
+  /// by the fault layer. Payload transfers are unaffected (acknowledged
+  /// end-to-end); best-effort metadata is not.
+  bool gossip_lost_from(NodeId from) const noexcept {
+    return from == contact_.a ? gossip_lost_ab_ : gossip_lost_ba_;
   }
 
   /// Charges non-payload bytes (metadata exchange) against the budget.
-  /// Returns false (consuming whatever remained) if the budget ran dry —
-  /// the contact then has no capacity left for photos either.
-  bool consume(std::uint64_t bytes) noexcept;
+  /// Returns false (consuming whatever remained) if the budget ran dry or
+  /// the link was cut mid-exchange — the contact then has no capacity left
+  /// for photos either.
+  bool consume(std::uint64_t bytes);
 
   /// Copies `photo` from `from` to `to`, consuming budget. With
   /// keep_source=false the source's copy is removed after a successful
@@ -161,10 +204,20 @@ class ContactSession {
   bool transfer(PhotoId photo, NodeId from, NodeId to, bool keep_source = true);
 
  private:
+  /// Charges `bytes` of wire traffic against the pending cut. Returns the
+  /// bytes the link actually carried; severs the session (recording the
+  /// interruption against `photo`) when the cut point is crossed.
+  std::uint64_t wire_carry(std::uint64_t bytes, PhotoId photo);
+
   Simulator& sim_;
   Contact contact_;
   std::uint64_t budget_;
   bool unlimited_;
+  std::uint64_t cut_after_;
+  std::uint64_t spent_ = 0;
+  bool severed_ = false;
+  bool gossip_lost_ab_;
+  bool gossip_lost_ba_;
 };
 
 class Simulator : public SimContext {
@@ -198,9 +251,16 @@ class Simulator : public SimContext {
   /// must not consult this — they only see metadata acknowledgments).
   const CoverageMap& command_center_coverage() const noexcept { return cc_coverage_; }
 
+  /// The fault plan this run executes (disabled when config().faults is
+  /// all-default). Read-only; exposed for tests and tooling.
+  const FaultInjector& faults() const noexcept { return faults_; }
+  /// True while `id` is crashed (always false for the command center).
+  bool is_down(NodeId id) const;
+
  private:
   friend class ContactSession;
   void register_delivery(NodeId from, const PhotoMeta& photo);
+  void apply_churn(const ChurnTransition& tr, Scheme& scheme);
   void take_sample();
   void emit(SimEvent::Type type, NodeId a, NodeId b, PhotoId photo) const {
     if (listener_) listener_(SimEvent{type, now_, a, b, photo});
@@ -212,6 +272,8 @@ class Simulator : public SimContext {
   SimConfig config_;
   Rng rng_;
 
+  FaultInjector faults_;
+  std::vector<char> down_;  // per node: currently crashed
   std::vector<Node> nodes_;
   CoverageMap cc_coverage_;
   double now_ = 0.0;

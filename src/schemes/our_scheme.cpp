@@ -53,6 +53,21 @@ void OurScheme::on_photo_taken(SimContext& ctx, NodeId node, const PhotoMeta& ph
   if (n.store().can_fit(photo.size_bytes)) ctx.store_photo(node, photo);
 }
 
+void OurScheme::on_node_down(SimContext& ctx, NodeId node, bool storage_wiped) {
+  (void)ctx;
+  if (!cfg_.metadata_enabled) return;
+  for (auto& [holder, c] : caches_) c.erase(node);
+  // Holders' engines reconcile lazily: the erased entry falls out of `want`
+  // on their next sync_engine and the collection is unloaded there.
+  if (storage_wiped) {
+    // The crashed node's own soft state is gone. clear() keeps its revision
+    // counter monotone and the engine is dropped outright, so post-reboot
+    // gossip can never stamp-match pre-crash engine contents.
+    if (auto it = caches_.find(node); it != caches_.end()) it->second.clear();
+    engines_.erase(node);
+  }
+}
+
 MetadataEntry OurScheme::snapshot(SimContext& ctx, NodeId node, double now) const {
   Node& n = ctx.node(node);
   MetadataEntry e;
@@ -64,15 +79,19 @@ MetadataEntry OurScheme::snapshot(SimContext& ctx, NodeId node, double now) cons
   return e;
 }
 
-void OurScheme::exchange_metadata(SimContext& ctx, NodeId a, NodeId b, double now) {
+void OurScheme::exchange_metadata(SimContext& ctx, NodeId a, NodeId b, double now,
+                                  bool b_to_a, bool a_to_b) {
   (void)ctx;
   MetadataCache& ca = cache(a);
   MetadataCache& cb = cache(b);
-  // Gossip cached third-party metadata both ways, then drop entries eq. (1)
-  // invalidates. The parties' own fresh snapshots are exchanged after the
-  // reallocation (on_contact), so caches reflect post-contact collections.
-  ca.merge_from(cb, a);
-  cb.merge_from(ca, b);
+  // Gossip cached third-party metadata both ways — unless the fault layer
+  // lost a direction, leaving the caches stale and asymmetric (the scheme
+  // carries on; eq. (1) bounds how long the staleness can mislead it). Then
+  // drop entries eq. (1) invalidates. The parties' own fresh snapshots are
+  // exchanged after the reallocation (on_contact), so caches reflect
+  // post-contact collections.
+  if (b_to_a) ca.merge_from(cb, a);
+  if (a_to_b) cb.merge_from(ca, b);
   ca.prune(now);
   cb.prune(now);
 }
@@ -150,7 +169,11 @@ void OurScheme::on_contact(SimContext& ctx, ContactSession& session) {
           records += entry.photos.size();
       session.consume(records * per_photo);
     }
-    exchange_metadata(ctx, session.a(), session.b(), now);
+    // A direction's gossip is lost when the fault layer dropped it — or when
+    // the link died while the metadata itself was on the wire.
+    exchange_metadata(ctx, session.a(), session.b(), now,
+                      !session.severed() && !session.gossip_lost_from(session.b()),
+                      !session.severed() && !session.gossip_lost_from(session.a()));
   }
 
   if (session.involves_command_center()) {
@@ -162,8 +185,13 @@ void OurScheme::on_contact(SimContext& ctx, ContactSession& session) {
   if (cfg_.metadata_enabled) {
     // Post-contact snapshots: each side leaves knowing the other's final
     // collection; a center snapshot doubles as the delivery acknowledgment.
-    cache(session.a()).update(snapshot(ctx, session.b(), now));
-    cache(session.b()).update(snapshot(ctx, session.a(), now));
+    // A cut link (possibly severed mid-payload above) or a lost gossip
+    // direction forfeits the closing snapshot too — the holder keeps
+    // whatever stale view it had.
+    if (!session.severed() && !session.gossip_lost_from(session.b()))
+      cache(session.a()).update(snapshot(ctx, session.b(), now));
+    if (!session.severed() && !session.gossip_lost_from(session.a()))
+      cache(session.b()).update(snapshot(ctx, session.a(), now));
   }
 }
 

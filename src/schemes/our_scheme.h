@@ -52,13 +52,21 @@ class OurScheme : public Scheme {
 
   void on_photo_taken(SimContext& ctx, NodeId node, const PhotoMeta& photo) override;
   void on_contact(SimContext& ctx, ContactSession& session) override;
+  /// Churn: every cache drops the downed node's entry immediately (the
+  /// liveness beacon beats eq. (1)'s timer — §III-B's invalidation exists
+  /// precisely to hedge against nodes that never show up again); a wiped
+  /// node additionally loses its own cache and persistent engine.
+  void on_node_down(SimContext& ctx, NodeId node, bool storage_wiped) override;
 
   /// Test access.
   const MetadataCache& cache_of(NodeId node) const;
 
  private:
   MetadataCache& cache(NodeId node);
-  void exchange_metadata(SimContext& ctx, NodeId a, NodeId b, double now);
+  /// `b_to_a` / `a_to_b`: whether each gossip direction survived the fault
+  /// layer (both true on a clean contact).
+  void exchange_metadata(SimContext& ctx, NodeId a, NodeId b, double now,
+                         bool b_to_a, bool a_to_b);
   /// Snapshot entry describing `node`'s current state.
   MetadataEntry snapshot(SimContext& ctx, NodeId node, double now) const;
   /// Reconciles `viewer`'s persistent selection engine with its metadata

@@ -50,6 +50,10 @@ std::vector<const MetadataEntry*> MetadataCache::valid_entries(double now) const
   return out;
 }
 
+void MetadataCache::clear() {
+  entries_.clear();  // next_revision_ deliberately survives (see header)
+}
+
 const MetadataEntry* MetadataCache::find(NodeId owner) const {
   const auto it = entries_.find(owner);
   return it == entries_.end() ? nullptr : &it->second;

@@ -66,6 +66,13 @@ class MetadataCache {
   const MetadataEntry* find(NodeId owner) const;
   void erase(NodeId owner) { entries_.erase(owner); }
 
+  /// Drops every entry but keeps the revision counter monotone: entries
+  /// accepted after the clear always carry stamps no pre-clear consumer ever
+  /// saw, so a persistent selection engine can never mistake post-crash
+  /// gossip for the state it loaded before the crash. (Used on churn: a
+  /// crashed node's own cache dies with its flash.)
+  void clear();
+
   /// Gossip: absorbs every entry of `other` that is fresher than ours.
   /// `self` is excluded — a node is the authority on its own collection.
   void merge_from(const MetadataCache& other, NodeId self);

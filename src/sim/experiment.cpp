@@ -77,6 +77,11 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     out.final_delivered.add(static_cast<double>(r.delivered_photos));
     out.total_transfers.add(static_cast<double>(r.counters.transfers));
     out.total_drops.add(static_cast<double>(r.counters.drops));
+    out.total_interrupted_contacts.add(
+        static_cast<double>(r.counters.interrupted_contacts));
+    out.total_missed_contacts.add(static_cast<double>(r.counters.missed_contacts));
+    out.total_node_crashes.add(static_cast<double>(r.counters.node_crashes));
+    out.total_gossip_losses.add(static_cast<double>(r.counters.gossip_losses));
   }
   return out;
 }

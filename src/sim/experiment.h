@@ -46,6 +46,13 @@ struct ExperimentResult {
   RunningStats final_delivered;
   RunningStats total_transfers;
   RunningStats total_drops;
+  // Fault-layer observability (all zero when the scenario runs clean);
+  // lets the disruption ablations plot coverage against realized fault
+  // intensity rather than only against the configured rates.
+  RunningStats total_interrupted_contacts;
+  RunningStats total_missed_contacts;
+  RunningStats total_node_crashes;
+  RunningStats total_gossip_losses;
 };
 
 /// One full simulation run; exposed so tests can drive single runs.

@@ -27,6 +27,10 @@ void write_result(JsonWriter& w, const ExperimentResult& r) {
   w.kv("delivered_mean", r.final_delivered.mean());
   w.kv("transfers_mean", r.total_transfers.mean());
   w.kv("drops_mean", r.total_drops.mean());
+  w.kv("interrupted_contacts_mean", r.total_interrupted_contacts.mean());
+  w.kv("missed_contacts_mean", r.total_missed_contacts.mean());
+  w.kv("node_crashes_mean", r.total_node_crashes.mean());
+  w.kv("gossip_losses_mean", r.total_gossip_losses.mean());
   w.end_object();
   w.end_object();
 }

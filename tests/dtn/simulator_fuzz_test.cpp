@@ -1,14 +1,28 @@
-// Failure-injection / fuzz test for the DTN substrate: a hostile scheme
-// issues random (often invalid) operations; the simulator must keep its
-// invariants — storage budgets never exceeded, byte accounting consistent,
-// deliveries monotone, the command center never drops — and never crash.
+// Failure-injection / fuzz tests for the DTN substrate.
+//
+// Part 1 (ChaosScheme): a hostile scheme issues random (often invalid)
+// operations; the simulator must keep its invariants — storage budgets never
+// exceeded, byte accounting consistent, deliveries monotone, the command
+// center never drops — and never crash.
+//
+// Part 2 (chaos matrix): every production scheme from the factory runs under
+// randomly sampled FaultConfigs (interrupted contacts, churn with and
+// without wipes, bandwidth jitter, gossip loss). No scheme may violate the
+// simulator's global invariants no matter how hostile the fault plan, and
+// identical (seed, FaultConfig) pairs must reproduce byte-identical results.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 #include "dtn/simulator.h"
+#include "schemes/factory.h"
 #include "test_util.h"
+#include "trace/synthetic_trace.h"
 #include "util/rng.h"
 #include "workload/photo_gen.h"
 #include "workload/poi_gen.h"
+#include "workload/scenario.h"
 
 namespace photodtn {
 namespace {
@@ -122,6 +136,196 @@ TEST(SimulatorFuzz, SurvivesChaosSchemeWithInvariantsIntact) {
     // Every delivered id is unique (the center accepts each photo once).
     std::set<PhotoId> unique(r.delivered_ids.begin(), r.delivered_ids.end());
     EXPECT_EQ(unique.size(), r.delivered_ids.size());
+  }
+}
+
+// ------------------------------------------------------------ chaos matrix
+
+/// All production schemes the factory can build (see factory.cpp).
+const std::vector<std::string>& all_factory_schemes() {
+  static const std::vector<std::string> names = {
+      "OurScheme", "NoMetadata",   "Spray&Wait", "ModifiedSpray",
+      "PhotoNet",  "BestPossible", "Epidemic",   "PROPHET"};
+  return names;
+}
+
+/// A random but valid fault plan: every knob drawn from its legal range,
+/// occasionally pinned to an extreme so the matrix hits the edges too.
+FaultConfig random_fault_plan(Rng& rng, std::uint64_t salt) {
+  FaultConfig f;
+  f.contact_interrupt_prob = rng.bernoulli(0.15) ? 1.0 : rng.uniform(0.0, 0.6);
+  f.interrupt_fraction_min = rng.uniform(0.0, 0.5);
+  f.interrupt_fraction_max = f.interrupt_fraction_min + rng.uniform(0.0, 0.5);
+  f.crash_rate_per_hour = rng.bernoulli(0.2) ? 0.0 : rng.uniform(0.0, 1.5);
+  f.mean_downtime_s = rng.uniform(600.0, 3.0 * 3600.0);
+  f.crash_wipes_storage = rng.bernoulli(0.5);
+  f.bandwidth_jitter = rng.uniform(0.0, 0.8);
+  f.gossip_loss_prob = rng.bernoulli(0.1) ? 1.0 : rng.uniform(0.0, 0.5);
+  f.salt = salt;
+  return f;
+}
+
+struct ChaosScenario {
+  PoiList pois;
+  ContactTrace trace;
+  std::vector<PhotoEvent> events;
+};
+
+ChaosScenario build_chaos_scenario(std::uint64_t seed) {
+  ChaosScenario s;
+  Rng rng(seed);
+  Rng poi_rng = rng.split("pois");
+  s.pois = generate_uniform_pois(8, 1500.0, poi_rng);
+
+  SyntheticTraceConfig tc;
+  tc.num_participants = 5;
+  tc.duration_s = 12.0 * 3600.0;
+  tc.base_pair_rate_per_hour = 0.6;
+  tc.seed = seed;
+  s.trace = generate_synthetic_trace(tc);
+
+  ScenarioConfig sc = ScenarioConfig::mit(seed);
+  sc.region_m = 1500.0;
+  sc.num_pois = s.pois.size();
+  sc.photo_rate_per_hour = 12.0;
+  PhotoGenerator gen(sc, s.pois);
+  Rng photo_rng = rng.split("photos");
+  s.events = gen.generate(s.trace.horizon(), 5, photo_rng);
+  return s;
+}
+
+/// One simulation under one fault plan, with every global invariant checked
+/// through the event stream. Returns the result for determinism comparison.
+SimResult run_checked(const ChaosScenario& sc, const CoverageModel& model,
+                      const FaultConfig& faults, const std::string& scheme_name,
+                      std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.node_storage_bytes = 3 * 4'000'000;
+  cfg.bandwidth_bytes_per_s = 5'000.0;
+  cfg.sample_interval_s = 3.0 * 3600.0;
+  cfg.seed = seed;
+  cfg.faults = faults;
+  std::unique_ptr<Scheme> scheme = make_scheme(scheme_name);
+  if (scheme->wants_unlimited_storage()) cfg.unlimited_storage = true;
+  if (scheme->wants_unlimited_bandwidth()) cfg.unlimited_bandwidth = true;
+
+  std::map<PhotoId, std::uint64_t> size_of;
+  for (const PhotoEvent& e : sc.events) size_of[e.photo.id] = e.photo.size_bytes;
+
+  Simulator sim(model, sc.trace, sc.events, cfg);
+
+  std::set<PhotoId> taken, delivered_seen;
+  std::uint64_t transfer_bytes = 0;
+  std::size_t interrupt_events = 0;
+  sim.set_event_listener([&](const SimEvent& e) {
+    switch (e.type) {
+      case SimEvent::Type::kPhotoTaken:
+        taken.insert(e.photo);
+        break;
+      case SimEvent::Type::kTransfer: {
+        const auto it = size_of.find(e.photo);
+        ASSERT_NE(it, size_of.end()) << "transfer of a photo never taken";
+        transfer_bytes += it->second;
+        break;
+      }
+      case SimEvent::Type::kDelivery:
+        EXPECT_TRUE(delivered_seen.insert(e.photo).second)
+            << "photo " << e.photo << " delivered twice";
+        break;
+      case SimEvent::Type::kContactInterrupted:
+        ++interrupt_events;
+        break;
+      default:
+        break;
+    }
+  });
+
+  const SimResult r = sim.run(*scheme);
+  sim.faults().audit();
+
+  // Deliveries: unique, known ids only, a subset of what was ever taken.
+  EXPECT_EQ(r.delivered_ids.size(), r.delivered_photos);
+  const std::set<PhotoId> unique(r.delivered_ids.begin(), r.delivered_ids.end());
+  EXPECT_EQ(unique.size(), r.delivered_ids.size());
+  for (const PhotoId id : unique)
+    EXPECT_TRUE(taken.count(id)) << "delivered photo " << id << " never taken";
+  EXPECT_EQ(delivered_seen, unique);
+
+  // Byte accounting is exact: completed transfers seen on the event stream
+  // sum to the counter; partial bytes never leak into it.
+  EXPECT_EQ(transfer_bytes, r.counters.bytes_transferred) << scheme_name;
+  EXPECT_EQ(interrupt_events, r.counters.interrupted_contacts);
+
+  // Every trace contact was either held or charged to downtime, and every
+  // capture either reached the scheme or was charged to a downed node.
+  EXPECT_EQ(r.counters.contacts + r.counters.missed_contacts, sc.trace.size());
+  EXPECT_EQ(r.counters.photos_taken + r.counters.photos_missed_down,
+            sc.events.size());
+
+  // Coverage and deliveries at the center are monotone: the center never
+  // drops, crashes never touch node 0, and samples accumulate.
+  for (std::size_t i = 1; i < r.samples.size(); ++i) {
+    EXPECT_GE(r.samples[i].delivered_photos, r.samples[i - 1].delivered_photos);
+    EXPECT_GE(r.samples[i].bytes_transferred, r.samples[i - 1].bytes_transferred);
+    EXPECT_GE(r.samples[i].point_coverage, r.samples[i - 1].point_coverage);
+  }
+  return r;
+}
+
+void expect_identical(const SimResult& a, const SimResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.delivered_ids, b.delivered_ids) << label;
+  EXPECT_EQ(a.counters.transfers, b.counters.transfers) << label;
+  EXPECT_EQ(a.counters.failed_transfers, b.counters.failed_transfers) << label;
+  EXPECT_EQ(a.counters.bytes_transferred, b.counters.bytes_transferred) << label;
+  EXPECT_EQ(a.counters.partial_bytes, b.counters.partial_bytes) << label;
+  EXPECT_EQ(a.counters.interrupted_contacts, b.counters.interrupted_contacts)
+      << label;
+  EXPECT_EQ(a.counters.interrupted_transfers, b.counters.interrupted_transfers)
+      << label;
+  EXPECT_EQ(a.counters.missed_contacts, b.counters.missed_contacts) << label;
+  EXPECT_EQ(a.counters.node_crashes, b.counters.node_crashes) << label;
+  EXPECT_EQ(a.counters.gossip_losses, b.counters.gossip_losses) << label;
+  EXPECT_EQ(a.counters.drops, b.counters.drops) << label;
+  ASSERT_EQ(a.samples.size(), b.samples.size()) << label;
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].point_coverage, b.samples[i].point_coverage) << label;
+    EXPECT_EQ(a.samples[i].aspect_coverage, b.samples[i].aspect_coverage) << label;
+  }
+  EXPECT_EQ(a.final_point_norm, b.final_point_norm) << label;
+  EXPECT_EQ(a.final_aspect_norm, b.final_aspect_norm) << label;
+}
+
+TEST(ChaosMatrix, AllSchemesKeepInvariantsUnderSampledFaultPlans) {
+  // 200 sampled fault plans, each run against every factory scheme (1600
+  // simulations) over small but nontrivial scenarios. Scenarios cycle
+  // through 25 distinct trace/workload builds; the fault plan and sim seed
+  // are fresh per plan, which is where the matrix earns its coverage.
+  constexpr std::uint64_t kPlans = 200;
+  for (std::uint64_t plan = 1; plan <= kPlans; ++plan) {
+    const ChaosScenario sc = build_chaos_scenario(1 + (plan - 1) % 25);
+    const CoverageModel model(sc.pois, deg_to_rad(30.0));
+    Rng plan_rng(0xC4A05 + plan * 977);
+    const FaultConfig faults = random_fault_plan(plan_rng, plan);
+    for (const std::string& name : all_factory_schemes()) {
+      SCOPED_TRACE("plan " + std::to_string(plan) + " scheme " + name);
+      run_checked(sc, model, faults, name, plan * 31 + 7);
+    }
+  }
+}
+
+TEST(ChaosMatrix, IdenticalSeedAndFaultPlanReproduceByteIdenticalResults) {
+  for (std::uint64_t plan : {3u, 11u, 19u}) {
+    const ChaosScenario sc = build_chaos_scenario(plan);
+    const CoverageModel model(sc.pois, deg_to_rad(30.0));
+    Rng plan_rng(0xDE7E0 + plan);
+    const FaultConfig faults = random_fault_plan(plan_rng, plan);
+    for (const std::string& name : {std::string("OurScheme"), std::string("Epidemic"),
+                                    std::string("PROPHET")}) {
+      const SimResult a = run_checked(sc, model, faults, name, plan);
+      const SimResult b = run_checked(sc, model, faults, name, plan);
+      expect_identical(a, b, "plan " + std::to_string(plan) + " " + name);
+    }
   }
 }
 

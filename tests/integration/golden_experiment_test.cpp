@@ -54,13 +54,33 @@ std::string fmt(double v) {
   return buf;
 }
 
-/// Ordered key=value serialization of the two golden runs.
+/// The fixed disruption plan for the faulted golden runs: every fault class
+/// active at once (interruptions, churn, jitter, gossip loss) so a behavior
+/// change anywhere in the fault layer shows up as a diff.
+FaultConfig golden_fault_plan() {
+  FaultConfig f;
+  f.contact_interrupt_prob = 0.25;
+  f.interrupt_fraction_min = 0.2;
+  f.interrupt_fraction_max = 0.9;
+  f.crash_rate_per_hour = 0.05;
+  f.mean_downtime_s = 2.0 * 3600.0;
+  f.bandwidth_jitter = 0.3;
+  f.gossip_loss_prob = 0.15;
+  return f;
+}
+
+/// Ordered key=value serialization of the golden runs: each scheme once
+/// clean and once under golden_fault_plan() (key prefix "<scheme>@faults").
 std::vector<std::pair<std::string, std::string>> compute_lines() {
   std::vector<std::pair<std::string, std::string>> lines;
+  for (const bool faulted : {false, true}) {
   for (const std::string scheme : {"OurScheme", "Epidemic"}) {
-    const SimResult r = run_single(golden_spec(scheme), 42);
+    ExperimentSpec spec = golden_spec(scheme);
+    if (faulted) spec.scenario.sim.faults = golden_fault_plan();
+    const SimResult r = run_single(spec, 42);
+    const std::string prefix = faulted ? scheme + "@faults" : scheme;
     auto put = [&](const std::string& key, const std::string& val) {
-      lines.emplace_back(scheme + "." + key, val);
+      lines.emplace_back(prefix + "." + key, val);
     };
     put("final_point", fmt(r.final_coverage.point));
     put("final_aspect", fmt(r.final_coverage.aspect));
@@ -80,6 +100,18 @@ std::vector<std::pair<std::string, std::string>> compute_lines() {
       put(p + "aspect", fmt(r.samples[i].aspect_coverage));
       put(p + "delivered", std::to_string(r.samples[i].delivered_photos));
     }
+    if (faulted) {
+      // The realized disruption is part of the faulted contract: any drift
+      // in the injector's sampling or the partial-transfer semantics moves
+      // these before it moves coverage.
+      put("interrupted_contacts", std::to_string(r.counters.interrupted_contacts));
+      put("interrupted_transfers", std::to_string(r.counters.interrupted_transfers));
+      put("partial_bytes", std::to_string(r.counters.partial_bytes));
+      put("missed_contacts", std::to_string(r.counters.missed_contacts));
+      put("node_crashes", std::to_string(r.counters.node_crashes));
+      put("photos_missed_down", std::to_string(r.counters.photos_missed_down));
+      put("gossip_losses", std::to_string(r.counters.gossip_losses));
+    }
     // The delivery order itself is part of the contract (selection order
     // drives transmissions); record a digest rather than every id.
     std::uint64_t order_digest = 1469598103934665603ULL;  // FNV-1a
@@ -88,6 +120,7 @@ std::vector<std::pair<std::string, std::string>> compute_lines() {
       order_digest *= 1099511628211ULL;
     }
     put("delivery_order_digest", std::to_string(order_digest));
+  }
   }
   return lines;
 }

@@ -195,6 +195,85 @@ TEST(OurScheme, FullViewReachedWithEnoughViews) {
   EXPECT_DOUBLE_EQ(r.samples.back().full_view_coverage, 1.0);
 }
 
+TEST(OurScheme, CrashPurgesCachedEntryAndRebootGossipRepopulates) {
+  // Node 1 is cached by node 2 at the first contact, then crashes (storage
+  // wiped). The crash must purge node 1's entry from every cache at once —
+  // not linger until the eq. (1) validity timer kills it — and node 1's own
+  // cache/engine must go with the wipe. After the reboot a second contact
+  // repopulates node 2's cache with a *fresh* snapshot of the post-crash
+  // collection only; revision stamps must not resurrect pre-crash engine
+  // state (exercised implicitly: sync_engine reconciles by revision and
+  // audit()s under the audit preset).
+  const CoverageModel probe({make_poi(0.0, 0.0)}, deg_to_rad(30.0));
+  SimConfig cfg = Rig::default_config();
+  cfg.faults.scripted_downtime = {{1, 200.0, 400.0}};
+  // Starve the payload path (6 KB per contact: nothing fits) so collections
+  // never change via transfers and the snapshots are exactly the captures.
+  cfg.bandwidth_bytes_per_s = 10.0;
+  PhotoMeta pre = photo_viewing(probe.pois()[0], 0.0);
+  PhotoMeta post = photo_viewing(probe.pois()[0], 180.0);
+  std::vector<PhotoEvent> events{Rig::capture(1.0, 1, pre),
+                                 Rig::capture(410.0, 1, post)};
+  const PhotoId post_id = post.id;
+  Rig rig({{100.0, 600.0, 1, 2}, {450.0, 600.0, 1, 2}}, 3, 1000.0,
+          std::move(events), cfg);
+  OurScheme scheme;
+  std::vector<SimEvent> events_seen;
+  rig.sim.set_event_listener([&](const SimEvent& e) { events_seen.push_back(e); });
+  const SimResult r = rig.sim.run(scheme);
+
+  EXPECT_EQ(r.counters.node_crashes, 1u);
+  EXPECT_EQ(r.counters.photos_lost_to_crash, 1u);  // the pre-crash photo
+
+  // Snapshot taken during the kNodeDown event: node 2's cached view of node
+  // 1 must already be gone at crash time (we can't observe mid-run state
+  // from outside, so assert on the final state plus the crash ordering).
+  const MetadataCache& c2 = scheme.cache_of(2);
+  ASSERT_NE(c2.find(1), nullptr);
+  EXPECT_DOUBLE_EQ(c2.find(1)->observed_at, 450.0);  // post-reboot snapshot
+  ASSERT_EQ(c2.find(1)->photos.size(), 1u);
+  EXPECT_EQ(c2.find(1)->photos[0].id, post_id);  // pre-crash photo is gone
+
+  // Node 1's own cache was rebuilt from scratch after the wipe.
+  const MetadataCache& c1 = scheme.cache_of(1);
+  ASSERT_NE(c1.find(2), nullptr);
+  EXPECT_DOUBLE_EQ(c1.find(2)->observed_at, 450.0);
+}
+
+TEST(OurScheme, DownPeerEntryPurgedBeforeValidityTimerExpires) {
+  // Node 3 never meets node 1 again after the crash, so nothing repopulates
+  // its cache: the purge at crash time must leave it empty of node 1 even
+  // though the eq. (1) timer alone would still consider the entry valid.
+  const CoverageModel probe({make_poi(0.0, 0.0)}, deg_to_rad(30.0));
+  SimConfig cfg = Rig::default_config();
+  cfg.faults.scripted_downtime = {{1, 200.0, 10000.0}};  // down to the horizon
+  std::vector<PhotoEvent> events{
+      Rig::capture(1.0, 1, photo_viewing(probe.pois()[0], 0.0))};
+  Rig rig({{100.0, 600.0, 1, 3}}, 4, 1000.0, std::move(events), cfg);
+  OurScheme scheme;
+  rig.sim.run(scheme);
+  EXPECT_EQ(scheme.cache_of(3).find(1), nullptr);
+}
+
+TEST(OurScheme, GossipLossLeavesReceiverCacheStale) {
+  // Deterministic per-direction gossip loss: with gossip_loss_prob = 1 both
+  // directions always drop, so no contact ever populates a cache, while the
+  // payload path keeps working.
+  const CoverageModel probe({make_poi(0.0, 0.0)}, deg_to_rad(30.0));
+  SimConfig cfg = Rig::default_config();
+  cfg.faults.gossip_loss_prob = 1.0;
+  std::vector<PhotoEvent> events{
+      Rig::capture(1.0, 1, photo_viewing(probe.pois()[0], 0.0))};
+  Rig rig({{100.0, 600.0, 1, 2}, {200.0, 600.0, 0, 2}}, 3, 1000.0,
+          std::move(events), cfg);
+  OurScheme scheme;
+  const SimResult r = rig.sim.run(scheme);
+  EXPECT_EQ(scheme.cache_of(2).find(1), nullptr);
+  EXPECT_GE(r.counters.gossip_losses, 2u);
+  // Payload still flows on the (un-severed) link even when gossip is lost.
+  EXPECT_EQ(r.delivered_photos, 1u);
+}
+
 TEST(OurScheme, ShortContactStillMovesMostValuablePhotoFirst) {
   // Budget fits exactly one photo; node 1 holds a redundant clone and one
   // distinct view; the center must receive a useful photo, not a clone.

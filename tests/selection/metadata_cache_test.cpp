@@ -143,6 +143,36 @@ TEST(MetadataCacheAudit, UpdateMonotonicityKeepsFreshestSnapshot) {
   EXPECT_NO_THROW(cache.audit());
 }
 
+TEST(MetadataCacheAudit, ClearKeepsRevisionStampsMonotone) {
+  // A crash wipes the cache via clear(), but the revision counter must
+  // survive: engines that loaded pre-crash collections identify them by
+  // revision, and a restarted counter would let a post-crash entry alias a
+  // pre-crash engine load.
+  MetadataCache cache(0.8);
+  cache.update(entry(2, 10.0, 0.01));
+  cache.update(entry(3, 20.0, 0.01));
+  const std::uint64_t pre = cache.find(3)->revision;
+  cache.clear();
+  EXPECT_EQ(cache.find(2), nullptr);
+  EXPECT_EQ(cache.find(3), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_NO_THROW(cache.audit());
+  cache.update(entry(2, 30.0, 0.01));
+  EXPECT_GT(cache.find(2)->revision, pre);
+  EXPECT_NO_THROW(cache.audit());
+}
+
+TEST(MetadataCacheAudit, ClearForgetsFreshnessSoRebootGossipRepopulates) {
+  // After a wipe the cache has no memory of pre-crash observation times; the
+  // first post-reboot snapshot repopulates even if its timestamp is older
+  // than what the cache once held.
+  MetadataCache cache(0.8);
+  cache.update(entry(2, 100.0, 0.01));
+  cache.clear();
+  EXPECT_TRUE(cache.update(entry(2, 50.0, 0.01)));
+  EXPECT_DOUBLE_EQ(cache.find(2)->observed_at, 50.0);
+}
+
 TEST(MetadataCacheAudit, FlagsInvalidEntryFields) {
   // A negative inter-contact rate is meaningless (eq. 1 needs lambda >= 0).
   // Debug/audit builds reject it at the update() boundary (DCHECK); release
