@@ -4,6 +4,8 @@
 // greedy selector (lazy vs plain), and PROPHET updates.
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
 #include "geometry/arc_set.h"
 #include "routing/prophet.h"
 #include "selection/exact_solver.h"
@@ -12,6 +14,7 @@
 #include "selection/selection_env.h"
 #include "sim/experiment.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "workload/photo_gen.h"
 #include "workload/poi_gen.h"
 
@@ -293,6 +296,57 @@ void BM_GreedyGainScan(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedyGainScan)->Args({64, 256})->Args({250, 256});
 
+/// The batched SoA sweep (GreedyPhase::gains_batch): all candidates in one
+/// PoI-major pass. range = {pois, candidates, pool threads; 0 = serial}.
+/// Bit-identical to the per-candidate loop of BM_GreedyGain for any thread
+/// count — the thread axis only moves wall-clock time.
+void BM_GainsBatch(benchmark::State& state) {
+  DenseBench db(static_cast<std::size_t>(state.range(0)),
+                static_cast<std::size_t>(state.range(1)));
+  const auto threads = static_cast<std::size_t>(state.range(2));
+  std::optional<ThreadPool> pool;
+  if (threads > 0) pool.emplace(threads);
+  SelectionEnvironment env(db.model, db.collections);
+  GreedyPhase phase(env, 0.7);
+  for (std::size_t i = 0; i < 8 && i < db.cands.size(); ++i)
+    phase.commit(*db.cands[i]);
+  std::vector<CoverageValue> gains(db.cands.size());
+  for (auto _ : state) {
+    phase.gains_batch(db.cands, gains, pool ? &*pool : nullptr);
+    benchmark::DoNotOptimize(gains.data());
+  }
+}
+BENCHMARK(BM_GainsBatch)
+    ->Args({64, 256, 0})
+    ->Args({250, 256, 0})
+    ->Args({250, 256, 2})
+    ->Args({250, 256, 4});
+
+/// Full CELF selection against the dense environment, reporting the lazy
+/// re-evaluation rate (reevals / gain_evals) — the fraction of heap pops
+/// that had to be refreshed. Low is the whole point of CELF.
+void BM_GreedyGainCelf(benchmark::State& state) {
+  DenseBench db(static_cast<std::size_t>(state.range(0)),
+                static_cast<std::size_t>(state.range(1)));
+  std::vector<PhotoMeta> pool(db.pool.end() - static_cast<std::ptrdiff_t>(db.cands.size()),
+                              db.pool.end());
+  GreedyParams params;
+  params.lazy = true;
+  const GreedySelector sel(params);
+  for (auto _ : state) {
+    SelectionEnvironment env(db.model, db.collections);
+    GreedyPhase phase(env, 0.7);
+    benchmark::DoNotOptimize(sel.select(db.model, pool, 40ULL * 4'000'000, phase));
+  }
+  const SelectionStats& st = sel.last_stats();
+  state.counters["reeval_rate"] =
+      st.gain_evals == 0
+          ? 0.0
+          : static_cast<double>(st.reevals) / static_cast<double>(st.gain_evals);
+  state.counters["commits"] = static_cast<double>(st.commits);
+}
+BENCHMARK(BM_GreedyGainCelf)->Args({64, 256})->Args({250, 256});
+
 /// Cold build of the engine from a full collection list (what a throwaway
 /// per-contact environment costs).
 void BM_SelectionEnvBuild(benchmark::State& state) {
@@ -377,6 +431,21 @@ void BM_OurSchemeE2E_Faults(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(run_single(spec, 42));
 }
 BENCHMARK(BM_OurSchemeE2E_Faults);
+
+/// Multi-seed experiment sweep on an explicit pool — the run_experiment hot
+/// path that used to spawn one std::async thread per seed. range = pool
+/// threads (0 = the shared pool). The aggregate is byte-identical across
+/// thread counts; only wall-clock time moves.
+void BM_ExperimentSweep(benchmark::State& state) {
+  ExperimentSpec spec = e2e_spec();
+  spec.runs = 4;
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::optional<ThreadPool> pool;
+  if (threads > 0) pool.emplace(threads);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(run_experiment(spec, pool ? &*pool : nullptr));
+}
+BENCHMARK(BM_ExperimentSweep)->Arg(1)->Arg(4);
 
 // ----------------------------------------------------------------- routing
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <unordered_set>
 
 #include "util/check.h"
 
@@ -41,6 +42,7 @@ std::vector<PhotoId> GreedySelector::select(const CoverageModel& model,
   // candidates many times).
   std::vector<const PhotoFootprint*> fps;
   model.footprints_cached(pool, fps);
+  stats_ = SelectionStats{};
   return params_.lazy ? select_lazy(pool, fps, capacity_bytes, phase)
                       : select_plain(pool, fps, capacity_bytes, phase);
 }
@@ -50,26 +52,39 @@ std::vector<PhotoId> GreedySelector::select_plain(
     std::uint64_t capacity_bytes, GreedyPhase& phase) const {
   std::vector<PhotoId> chosen;
   std::vector<char> taken(pool.size(), 0);
+  std::vector<std::size_t> active;
+  std::vector<const PhotoFootprint*> afps;
+  std::vector<CoverageValue> gains;
   std::uint64_t used = 0;
   for (;;) {
-    CoverageValue best_gain;
-    std::size_t best = pool.size();
+    // One batched sweep over the still-eligible candidates per round, then
+    // an ordered argmax in pool order. Exact ties go to the lower PhotoId
+    // (see the header's determinism note); ids are unique within a pool, so
+    // the winner is unambiguous and identical to the per-candidate scan.
+    active.clear();
+    afps.clear();
     for (std::size_t i = 0; i < pool.size(); ++i) {
       if (taken[i] || used + pool[i].size_bytes > capacity_bytes) continue;
-      const CoverageValue g = phase.gain(*fps[i]);
-      // Exact ties go to the lower PhotoId (see the header's determinism
-      // note); ids are unique within a pool, so the winner is unambiguous.
-      if (best == pool.size() || g > best_gain ||
-          (g == best_gain && pool[i].id < pool[best].id)) {
-        best_gain = g;
-        best = i;
-      }
+      active.push_back(i);
+      afps.push_back(fps[i]);
     }
-    if (best == pool.size() || !gain_worth_taking(best_gain, params_.eps)) break;
-    taken[best] = 1;
-    used += pool[best].size_bytes;
-    phase.commit(*fps[best]);
-    chosen.push_back(pool[best].id);
+    if (active.empty()) break;
+    gains.resize(active.size());
+    phase.gains_batch(afps, gains, params_.pool);
+    stats_.gain_evals += active.size();
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < active.size(); ++k) {
+      if (gains[k] > gains[best] ||
+          (gains[k] == gains[best] && pool[active[k]].id < pool[active[best]].id))
+        best = k;
+    }
+    if (!gain_worth_taking(gains[best], params_.eps)) break;
+    const std::size_t idx = active[best];
+    taken[idx] = 1;
+    used += pool[idx].size_bytes;
+    phase.commit(*fps[idx]);
+    chosen.push_back(pool[idx].id);
+    ++stats_.commits;
   }
   return chosen;
 }
@@ -91,10 +106,15 @@ std::vector<PhotoId> GreedySelector::select_lazy(
       return x.id > y.id;
     }
   };
+  // Seed the CELF heap with one batched sweep — same values in the same
+  // push order as per-candidate seeding, so the heap state is identical.
+  std::vector<CoverageValue> gains(pool.size());
+  phase.gains_batch(fps, gains, params_.pool);
+  stats_.gain_evals += pool.size();
   std::priority_queue<Cand, std::vector<Cand>, Less> heap;
   for (std::size_t i = 0; i < pool.size(); ++i) {
-    const CoverageValue g = phase.gain(*fps[i]);
-    if (gain_worth_taking(g, params_.eps)) heap.push({g, pool[i].id, i, 0});
+    if (gain_worth_taking(gains[i], params_.eps))
+      heap.push({gains[i], pool[i].id, i, 0});
   }
   std::vector<PhotoId> chosen;
   std::uint64_t used = 0;
@@ -109,6 +129,8 @@ std::vector<PhotoId> GreedySelector::select_lazy(
       // the heap order consistent with plain greedy.
       top.gain = phase.gain(*fps[top.idx]);
       top.stamp = commit_stamp;
+      ++stats_.gain_evals;
+      ++stats_.reevals;
       if (gain_worth_taking(top.gain, params_.eps)) heap.push(top);
       continue;
     }
@@ -116,6 +138,7 @@ std::vector<PhotoId> GreedySelector::select_lazy(
     used += pool[top.idx].size_bytes;
     chosen.push_back(top.id);
     ++commit_stamp;
+    ++stats_.commits;
   }
   return chosen;
 }
@@ -152,12 +175,13 @@ ReallocationPlan GreedySelector::reallocate(
   // delivery probability (not the floored one): if p_first is truly tiny,
   // the second node should still duplicate valuable photos (Section III-D).
   first_sel.delivery_prob = a_first ? p_a : p_b;
-  std::vector<char> in_first(pool.size(), 0);
-  for (const PhotoId id : plan.first_target)
-    for (std::size_t i = 0; i < pool.size(); ++i)
-      if (pool[i].id == id) in_first[i] = 1;
+  // Footprints in pool order (one hash probe per photo, not a pool scan per
+  // selected id — contact pools reach hundreds of photos).
+  const std::unordered_set<PhotoId> in_first(plan.first_target.begin(),
+                                             plan.first_target.end());
   for (std::size_t i = 0; i < pool.size(); ++i)
-    if (in_first[i]) first_sel.footprints.push_back(&model.footprint_cached(pool[i]));
+    if (in_first.contains(pool[i].id))
+      first_sel.footprints.push_back(&model.footprint_cached(pool[i]));
 
   ScopedCollection guard(env, first_sel);
   GreedyPhase phase_second(env, p_second);

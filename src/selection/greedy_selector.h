@@ -9,14 +9,19 @@
 //
 // Greedy acceleration: the marginal gains are monotone non-increasing in
 // the selected set (coverage is submodular for a fixed environment), so we
-// use lazy evaluation (Minoux): cached gains are re-evaluated only when a
-// candidate reaches the top of the priority queue.
+// use CELF lazy evaluation (Minoux): a max-heap of cached stale upper
+// bounds, re-evaluated only when a candidate tops the heap with an outdated
+// stamp. The heap is seeded by one batched gain sweep (GreedyPhase::
+// gains_batch), and the plain path evaluates each round through the same
+// batched kernel with an ordered argmax — both produce selections
+// bit-identical to the candidate-at-a-time scan.
 //
 // Determinism: candidates whose gains tie exactly are taken in PhotoId
-// order (lowest id first). Pool order, the plain/lazy switch, and the
-// incremental-engine path therefore all produce the same selection — ties
-// are common in practice (identical burst photos, symmetric scenes), and
-// index-based tie-breaking would let two evaluation paths diverge on them.
+// order (lowest id first). Pool order, the plain/lazy switch, the
+// incremental-engine path, and any thread count therefore all produce the
+// same selection — ties are common in practice (identical burst photos,
+// symmetric scenes), and index-based tie-breaking would let two evaluation
+// paths diverge on them.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +49,19 @@ struct GreedyParams {
   /// Use lazy greedy re-evaluation (exact same output as the plain greedy;
   /// exposed so tests can compare both paths).
   bool lazy = true;
+  /// Pool for the batched gain sweeps on large candidate sets; nullptr runs
+  /// them serially. Results are bit-identical either way (see
+  /// util/thread_pool.h), so this is purely a throughput knob — OurScheme
+  /// and PhotoCrowd wire ThreadPool::shared() here.
+  ThreadPool* pool = nullptr;
+};
+
+/// Evaluation counters of the most recent select() call, for benches and
+/// the perf pipeline (the CELF re-evaluation rate is reeval / gain_evals).
+struct SelectionStats {
+  std::uint64_t gain_evals = 0;  // all gain evaluations, batched or single
+  std::uint64_t reevals = 0;     // lazy-path stale re-evaluations (subset)
+  std::uint64_t commits = 0;     // photos selected
 };
 
 /// Outcome of the two-phase reallocation. Photo ids are listed in the order
@@ -90,6 +108,11 @@ class GreedySelector {
 
   const GreedyParams& params() const noexcept { return params_; }
 
+  /// Counters of the most recent select() on this selector (reallocate
+  /// leaves the second phase's). Like the engine caches: thread-compatible,
+  /// not thread-safe — each simulation run owns its selector.
+  const SelectionStats& last_stats() const noexcept { return stats_; }
+
  private:
   std::vector<PhotoId> select_plain(std::span<const PhotoMeta> pool,
                                     std::span<const PhotoFootprint* const> fps,
@@ -101,6 +124,7 @@ class GreedySelector {
                                    GreedyPhase& phase) const;
 
   GreedyParams params_;
+  mutable SelectionStats stats_;
 };
 
 }  // namespace photodtn

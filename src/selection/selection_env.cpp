@@ -113,19 +113,62 @@ PiecewiseMiss PiecewiseMiss::build(
     }
   }
 
+  // Fused rate array: rate(k) on the integration hot path reads one dense
+  // double instead of re-multiplying value by weight per probe.
+  out.rates_.resize(n);
+  for (std::size_t k = 0; k < n; ++k)
+    out.rates_[k] = out.vals_[k] * (weighted ? out.weights_[k] : 1.0);
+
   out.prefix_.resize(n + 1);
   out.prefix_[0] = 0.0;
   for (std::size_t k = 0; k < n; ++k) {
     const double hi = (k + 1 < n) ? out.cuts_[k + 1] : kTwoPi;
     out.prefix_[k + 1] = out.prefix_[k] + out.rate(k) * (hi - out.cuts_[k]);
   }
+
+  // Bucketized segment finder. lut_[b] is the highest segment whose cut
+  // falls in an earlier bucket: for any angle a in bucket b this gives
+  // cuts_[lut_[b]] < a (monotone multiply by the shared scale), so
+  // segment_of starts there and only advances forward. One bucket per
+  // segment keeps the advance to ~1 step on average. Sparse functions
+  // skip the table: below kLutMinSegments a binary search is already cheap,
+  // and the simulator rebuilds thousands of such small functions per run —
+  // the table's build cost would dominate its lookups. (Bucket count and
+  // threshold are a rebuild-vs-query tradeoff: the greedy sweeps probe each
+  // dense function hundreds of times per rebuild, the simulator's sparse
+  // ones often zero times.)
+  if (n >= kLutMinSegments) {
+    const std::size_t buckets = std::min<std::size_t>(4096, 2 * n);
+    out.lut_scale_ = static_cast<double>(buckets) / kTwoPi;
+    out.lut_.resize(buckets);
+    std::size_t seg = 0;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      while (seg + 1 < n &&
+             static_cast<std::size_t>(out.cuts_[seg + 1] * out.lut_scale_) < b)
+        ++seg;
+      out.lut_[b] = static_cast<std::uint32_t>(seg);
+    }
+  }
   return out;
 }
 
 std::size_t PiecewiseMiss::segment_of(double a) const noexcept {
-  // cuts_[0] == 0 <= a, so upper_bound is never begin().
-  const auto it = std::upper_bound(cuts_.begin(), cuts_.end(), a);
-  return static_cast<std::size_t>(std::distance(cuts_.begin(), it)) - 1;
+  // Same result as upper_bound(cuts_, a) - 1 (cuts_[0] == 0 <= a): dense
+  // functions use a table lookup plus a short forward walk instead of
+  // ~log B data-dependent probes; sparse ones (no LUT built) just binary
+  // search. a == 2*pi (an integral's hi end) clamps to the last bucket /
+  // lands in the final segment.
+  if (lut_.empty()) {
+    return static_cast<std::size_t>(
+               std::upper_bound(cuts_.begin(), cuts_.end(), a) - cuts_.begin()) -
+           1;
+  }
+  std::size_t b = static_cast<std::size_t>(a * lut_scale_);
+  if (b >= lut_.size()) b = lut_.size() - 1;
+  std::size_t s = lut_[b];
+  const std::size_t n = cuts_.size();
+  while (s + 1 < n && cuts_[s + 1] <= a) ++s;
+  return s;
 }
 
 double PiecewiseMiss::value_at(double angle) const noexcept {
@@ -194,15 +237,32 @@ void PiecewiseMiss::audit() const {
   PHOTODTN_CHECK_MSG(std::isfinite(constant_) && constant_ >= 0.0 && constant_ <= 1.0,
                      "PiecewiseMiss constant must be a probability");
   if (cuts_.empty()) {
-    PHOTODTN_CHECK_MSG(vals_.empty() && weights_.empty() && prefix_.empty(),
+    PHOTODTN_CHECK_MSG(vals_.empty() && weights_.empty() && rates_.empty() &&
+                           prefix_.empty() && lut_.empty(),
                        "constant PiecewiseMiss must carry no segments");
     return;
   }
   PHOTODTN_CHECK_MSG(cuts_.front() == 0.0, "PiecewiseMiss cuts must start at 0");
   PHOTODTN_CHECK_MSG(vals_.size() == cuts_.size() &&
+                         rates_.size() == cuts_.size() &&
                          prefix_.size() == cuts_.size() + 1 &&
                          (weights_.empty() || weights_.size() == cuts_.size()),
                      "PiecewiseMiss parallel arrays must agree in size");
+  PHOTODTN_CHECK_MSG(
+      (cuts_.size() >= kLutMinSegments) == !lut_.empty(),
+      "PiecewiseMiss must carry a LUT exactly when dense enough");
+  PHOTODTN_CHECK_MSG(lut_.empty() == (lut_scale_ == 0.0),
+                     "LUT scale must accompany the LUT");
+  for (std::size_t b = 0; b < lut_.size(); ++b) {
+    const std::size_t s = lut_[b];
+    PHOTODTN_CHECK_MSG(s < cuts_.size(), "LUT segment index out of range");
+    // The walk in segment_of only moves forward, so the table entry must
+    // undershoot (or hit) the true segment of every angle in its bucket.
+    PHOTODTN_CHECK_MSG(
+        s == 0 || static_cast<std::size_t>(cuts_[s] * lut_scale_) < b,
+        "LUT entry overshoots its bucket");
+    PHOTODTN_CHECK_MSG(b == 0 || lut_[b - 1] <= s, "LUT must be monotone");
+  }
   for (std::size_t k = 0; k < cuts_.size(); ++k) {
     PHOTODTN_CHECK_MSG(cuts_[k] >= 0.0 && cuts_[k] < kTwoPi,
                        "PiecewiseMiss cut outside [0, 2*pi)");
@@ -216,6 +276,9 @@ void PiecewiseMiss::audit() const {
     if (!weights_.empty())
       PHOTODTN_CHECK_MSG(std::isfinite(weights_[k]) && weights_[k] >= 0.0,
                          "PiecewiseMiss weight must be non-negative");
+    PHOTODTN_CHECK_MSG(
+        rates_[k] == vals_[k] * (weights_.empty() ? 1.0 : weights_[k]),
+        "fused rate out of sync with value * weight");
     const double hi = (k + 1 < cuts_.size()) ? cuts_[k + 1] : kTwoPi;
     const double expect = prefix_[k] + rate(k) * (hi - cuts_[k]);
     PHOTODTN_CHECK_MSG(std::fabs(prefix_[k + 1] - expect) <=
@@ -227,7 +290,11 @@ void PiecewiseMiss::audit() const {
 // ----------------------------------------------------- SelectionEnvironment
 
 SelectionEnvironment::SelectionEnvironment(const CoverageModel& model)
-    : model_(&model), pois_(model.pois().size()) {}
+    : model_(&model),
+      covers_(model.pois().size()),
+      pt_miss_(model.pois().size(), 1.0),
+      miss_(model.pois().size()),
+      dirty_(model.pois().size(), 1) {}
 
 SelectionEnvironment::SelectionEnvironment(const CoverageModel& model,
                                            std::span<const NodeCollection> others)
@@ -250,10 +317,9 @@ void SelectionEnvironment::add_collection(const NodeCollection& collection) {
     for (const PoiArc& pa : fp->arcs) arcs_by_poi[pa.poi_index].add(pa.arc);
   entry.touched.reserve(arcs_by_poi.size());
   for (auto& [poi, arcs] : arcs_by_poi) {
-    PoiState& st = pois_[poi];
-    st.covers.push_back(
+    covers_[poi].push_back(
         NodePoiCover{collection.node, collection.delivery_prob, std::move(arcs)});
-    st.dirty = true;
+    dirty_[poi] = 1;
     entry.touched.push_back(poi);
   }
   // Deterministic order keeps audits and rebuild sweeps reproducible.
@@ -277,12 +343,12 @@ void SelectionEnvironment::extend_collection(
   for (const PhotoFootprint* fp : extra)
     for (const PoiArc& pa : fp->arcs) arcs_by_poi[pa.poi_index].add(pa.arc);
   for (auto& [poi, arcs] : arcs_by_poi) {
-    PoiState& st = pois_[poi];
-    auto cover = std::find_if(st.covers.begin(), st.covers.end(),
+    std::vector<NodePoiCover>& covers = covers_[poi];
+    auto cover = std::find_if(covers.begin(), covers.end(),
                               [&](const NodePoiCover& c) { return c.node == node; });
-    if (cover == st.covers.end()) {
-      st.covers.push_back(NodePoiCover{node, delivery_prob, std::move(arcs)});
-      st.dirty = true;
+    if (cover == covers.end()) {
+      covers.push_back(NodePoiCover{node, delivery_prob, std::move(arcs)});
+      dirty_[poi] = 1;
       it->second.touched.insert(
           std::upper_bound(it->second.touched.begin(), it->second.touched.end(), poi),
           poi);
@@ -292,7 +358,7 @@ void SelectionEnvironment::extend_collection(
     merged.unite(arcs);
     if (merged == cover->arcs) continue;  // nothing new on this PoI
     cover->arcs = std::move(merged);
-    st.dirty = true;
+    dirty_[poi] = 1;
   }
 }
 
@@ -300,63 +366,63 @@ bool SelectionEnvironment::remove_collection(NodeId node) {
   const auto it = loaded_.find(node);
   if (it == loaded_.end()) return false;
   for (const std::size_t poi : it->second.touched) {
-    PoiState& st = pois_[poi];
-    const auto cover = std::find_if(st.covers.begin(), st.covers.end(),
+    std::vector<NodePoiCover>& covers = covers_[poi];
+    const auto cover = std::find_if(covers.begin(), covers.end(),
                                     [&](const NodePoiCover& c) { return c.node == node; });
-    PHOTODTN_CHECK_MSG(cover != st.covers.end(),
+    PHOTODTN_CHECK_MSG(cover != covers.end(),
                        "environment cover list out of sync with registry");
-    st.covers.erase(cover);
-    st.dirty = true;
+    covers.erase(cover);
+    dirty_[poi] = 1;
   }
   loaded_.erase(it);
   return true;
 }
 
 void SelectionEnvironment::refresh(std::size_t poi) const {
-  PoiState& st = pois_[poi];
   double miss = 1.0;
   std::vector<std::pair<double, const ArcSet*>> covers;
-  covers.reserve(st.covers.size());
-  for (const NodePoiCover& c : st.covers) {
+  covers.reserve(covers_[poi].size());
+  for (const NodePoiCover& c : covers_[poi]) {
     miss *= 1.0 - c.p;
     covers.push_back({c.p, &c.arcs});
   }
-  st.pt_miss = miss;
-  st.miss = PiecewiseMiss::build(covers, model_->pois()[poi].profile());
-  st.dirty = false;
-  PHOTODTN_AUDIT(st.miss.audit());
+  pt_miss_[poi] = miss;
+  miss_[poi] = PiecewiseMiss::build(covers, model_->pois()[poi].profile());
+  dirty_[poi] = 0;
+  PHOTODTN_AUDIT(miss_[poi].audit());
 }
 
 double SelectionEnvironment::point_miss(std::size_t poi) const {
-  const PoiState& st = pois_.at(poi);
-  if (st.dirty) refresh(poi);
-  return st.pt_miss;
+  if (dirty_.at(poi)) refresh(poi);
+  return pt_miss_[poi];
 }
 
 const PiecewiseMiss& SelectionEnvironment::aspect_miss(std::size_t poi) const {
-  const PoiState& st = pois_.at(poi);
-  if (st.dirty) refresh(poi);
-  return st.miss;
+  if (dirty_.at(poi)) refresh(poi);
+  return miss_[poi];
 }
 
 CoverageValue SelectionEnvironment::total() const {
   CoverageValue out;
-  for (std::size_t poi = 0; poi < pois_.size(); ++poi) {
-    if (pois_[poi].dirty) refresh(poi);
+  for (std::size_t poi = 0; poi < dirty_.size(); ++poi) {
+    if (dirty_[poi]) refresh(poi);
     const PointOfInterest& p = model_->pois()[poi];
     const double w_max =
         p.profile() != nullptr && !p.profile()->is_uniform() ? p.profile()->total()
                                                              : kTwoPi;
-    out.point += p.weight * (1.0 - pois_[poi].pt_miss);
-    out.aspect += p.weight * (w_max - pois_[poi].miss.full_integral());
+    out.point += p.weight * (1.0 - pt_miss_[poi]);
+    out.aspect += p.weight * (w_max - miss_[poi].full_integral());
   }
   return out;
 }
 
 void SelectionEnvironment::audit() const {
-  PHOTODTN_CHECK_MSG(pois_.size() == model_->pois().size(),
-                     "environment PoI state size must match the model");
-  std::vector<std::size_t> cover_counts(pois_.size(), 0);
+  PHOTODTN_CHECK_MSG(covers_.size() == model_->pois().size() &&
+                         pt_miss_.size() == covers_.size() &&
+                         miss_.size() == covers_.size() &&
+                         dirty_.size() == covers_.size(),
+                     "environment per-PoI arrays must match the model");
+  std::vector<std::size_t> cover_counts(covers_.size(), 0);
   for (const auto& [node, entry] : loaded_) {
     PHOTODTN_CHECK_MSG(is_probability(entry.delivery_prob),
                        "loaded collection delivery probability must be in [0, 1]");
@@ -365,8 +431,8 @@ void SelectionEnvironment::audit() const {
                                               entry.touched.end()) == entry.touched.end(),
                        "loaded touched-PoI lists must be sorted and unique");
     for (const std::size_t poi : entry.touched) {
-      PHOTODTN_CHECK_MSG(poi < pois_.size(), "touched PoI out of range");
-      const auto& covers = pois_[poi].covers;
+      PHOTODTN_CHECK_MSG(poi < covers_.size(), "touched PoI out of range");
+      const auto& covers = covers_[poi];
       const auto it = std::find_if(covers.begin(), covers.end(),
                                    [&](const NodePoiCover& c) { return c.node == node; });
       PHOTODTN_CHECK_MSG(it != covers.end(),
@@ -377,25 +443,24 @@ void SelectionEnvironment::audit() const {
       ++cover_counts[poi];
     }
   }
-  for (std::size_t poi = 0; poi < pois_.size(); ++poi) {
-    const PoiState& st = pois_[poi];
-    PHOTODTN_CHECK_MSG(st.covers.size() == cover_counts[poi],
+  for (std::size_t poi = 0; poi < covers_.size(); ++poi) {
+    PHOTODTN_CHECK_MSG(covers_[poi].size() == cover_counts[poi],
                        "cover list holds entries no loaded collection owns");
-    if (st.dirty) continue;  // cached terms not built yet — nothing to verify
+    if (dirty_[poi]) continue;  // cached terms not built yet — nothing to verify
     double miss = 1.0;
-    for (const NodePoiCover& c : st.covers) miss *= 1.0 - c.p;
-    PHOTODTN_CHECK_MSG(std::fabs(st.pt_miss - miss) <= 1e-12,
+    for (const NodePoiCover& c : covers_[poi]) miss *= 1.0 - c.p;
+    PHOTODTN_CHECK_MSG(std::fabs(pt_miss_[poi] - miss) <= 1e-12,
                        "cached point-miss product out of date");
-    st.miss.audit();
+    miss_[poi].audit();
     // Cross-check the cached miss function against direct products at the
     // covers' interval midpoints (the same probe the pre-sweep builder used).
-    for (const NodePoiCover& c : st.covers) {
+    for (const NodePoiCover& c : covers_[poi]) {
       for (const auto& [s, e] : c.arcs.intervals()) {
         const double mid = s + (e - s) / 2.0;
         double expect = 1.0;
-        for (const NodePoiCover& o : st.covers)
+        for (const NodePoiCover& o : covers_[poi])
           if (o.arcs.contains(mid)) expect *= 1.0 - o.p;
-        PHOTODTN_CHECK_MSG(std::fabs(st.miss.value_at(mid) - expect) <= 1e-9,
+        PHOTODTN_CHECK_MSG(std::fabs(miss_[poi].value_at(mid) - expect) <= 1e-9,
                            "cached miss function out of date");
       }
     }
@@ -433,6 +498,93 @@ CoverageValue GreedyPhase::gain(const PhotoFootprint& fp) const {
     g.aspect += poi.weight * p_ * integral;
   }
   return g;
+}
+
+void GreedyPhase::gains_batch(std::span<const PhotoFootprint* const> fps,
+                              std::span<CoverageValue> out,
+                              ThreadPool* pool) const {
+  PHOTODTN_CHECK_MSG(out.size() == fps.size(),
+                     "gains_batch output span must match the candidate span");
+  if (fps.empty()) return;
+  // Small batches skip the counting sort: the PoI-major restructuring (and
+  // its scratch allocations) only pays for itself once many candidates
+  // share PoIs. gain() computes the identical sums in the identical order,
+  // so the cutover is invisible in the output bytes — contact-time pools in
+  // the simulator are often this small, the dense benches never are.
+  constexpr std::size_t kSmallBatch = 32;
+  if (fps.size() <= kSmallBatch) {
+    for (std::size_t i = 0; i < fps.size(); ++i) out[i] = gain(*fps[i]);
+    return;
+  }
+  // Serial prepass: zero the outputs and rebuild every dirty PoI the sweep
+  // touches (aspect_miss refreshes the point miss too). After this, the
+  // chunked sweep only reads cached state — safe to fan out.
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    out[i] = CoverageValue{};
+    for (const PoiArc& pa : fps[i]->arcs) env_->aspect_miss(pa.poi_index);
+  }
+
+  // PoI-major sweep over one candidate chunk. Footprint arcs are sorted by
+  // PoI index, so accumulating bucket-by-bucket adds each candidate's terms
+  // in exactly the order gain() does — the sums are bit-identical.
+  const auto& pois = env_->model().pois();
+  auto sweep = [&](std::size_t begin, std::size_t end) {
+    const std::size_t npois = own_arcs_.size();
+    // Counting sort of the chunk's arcs into per-PoI buckets.
+    std::vector<std::uint32_t> offset(npois + 1, 0);
+    for (std::size_t i = begin; i < end; ++i)
+      for (const PoiArc& pa : fps[i]->arcs) ++offset[pa.poi_index + 1];
+    for (std::size_t p = 0; p < npois; ++p) offset[p + 1] += offset[p];
+    struct Entry {
+      std::uint32_t cand;  // global candidate index (owns out[cand])
+      double lo, hi;       // normalized span; hi > 2*pi means it wraps
+    };
+    std::vector<Entry> entries(offset[npois]);
+    std::vector<std::uint32_t> fill(offset.begin(), offset.end() - 1);
+    for (std::size_t i = begin; i < end; ++i) {
+      for (const PoiArc& pa : fps[i]->arcs) {
+        const double lo = normalize_angle(pa.arc.start);
+        entries[fill[pa.poi_index]++] = {
+            static_cast<std::uint32_t>(i), lo,
+            lo + std::min(pa.arc.length, kTwoPi)};
+      }
+    }
+    for (std::size_t p = 0; p < npois; ++p) {
+      const std::uint32_t lo_e = offset[p], hi_e = offset[p + 1];
+      if (lo_e == hi_e) continue;
+      // Everything the per-arc loop of gain() would recompute, hoisted once
+      // per PoI: weight, point term, miss function, committed arcs.
+      const PointOfInterest& poi = pois[p];
+      const PiecewiseMiss& env_fn = env_->aspect_miss(p);
+      const ArcSet& own = own_arcs_[p];
+      const bool covered = own_covered_[p] != 0;
+      const double pt_add = covered ? 0.0 : poi.weight * env_->point_miss(p) * p_;
+      const double wp = poi.weight * p_;
+      for (std::uint32_t k = lo_e; k < hi_e; ++k) {
+        const Entry& en = entries[k];
+        CoverageValue& g = out[en.cand];
+        if (!covered) g.point += pt_add;
+        double integral = 0.0;
+        if (en.hi <= kTwoPi) {
+          integral = env_fn.integrate_excluding(en.lo, en.hi, own);
+        } else {
+          integral = env_fn.integrate_excluding(en.lo, kTwoPi, own) +
+                     env_fn.integrate_excluding(0.0, en.hi - kTwoPi, own);
+        }
+        g.aspect += wp * integral;
+      }
+    }
+  };
+
+  // Chunk grain is fixed (never derived from the worker count): each chunk
+  // writes only its candidates' slots, so any pool size — including none —
+  // produces the same bytes.
+  constexpr std::size_t kGrain = 64;
+  if (pool != nullptr && pool->concurrency() > 1 && fps.size() > kGrain) {
+    pool->parallel_for(fps.size(), kGrain, sweep);
+  } else {
+    sweep(0, fps.size());
+  }
 }
 
 void GreedyPhase::commit(const PhotoFootprint& fp) {

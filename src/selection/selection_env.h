@@ -23,6 +23,15 @@
 // carries prefix-sum integrals (with the PoI's aspect-weight profile baked
 // into the segments), making one marginal-gain integral O(log B) in the
 // number of environment breakpoints instead of O(B).
+//
+// Batched gain kernel: the greedy selector evaluates every candidate's gain
+// over and over, and candidate-at-a-time evaluation streams each PoI's
+// segment arrays through cache once *per candidate*. gains_batch flips the
+// loop PoI-major — all candidate arcs touching a PoI are processed while
+// that PoI's structure-of-arrays state (cuts / fused rates / prefix sums /
+// segment lookup table) is hot — and writes each candidate's gain to its own
+// output slot, so the sweep parallelizes over candidate chunks with
+// bit-identical results (see util/thread_pool.h for the determinism rules).
 #pragma once
 
 #include <cstdint>
@@ -34,6 +43,7 @@
 #include "coverage/coverage_value.h"
 #include "selection/expected_coverage.h"
 #include "selection/poi_cover.h"
+#include "util/thread_pool.h"
 
 namespace photodtn {
 
@@ -88,9 +98,7 @@ class PiecewiseMiss {
   void audit() const;
 
  private:
-  double rate(std::size_t seg) const noexcept {
-    return vals_[seg] * (weights_.empty() ? 1.0 : weights_[seg]);
-  }
+  double rate(std::size_t seg) const noexcept { return rates_[seg]; }
   std::size_t segment_of(double a) const noexcept;
 
   // Linear segmentation of [0, 2*pi): segment k spans
@@ -99,8 +107,19 @@ class PiecewiseMiss {
   std::vector<double> cuts_;
   std::vector<double> vals_;     // env miss product per segment
   std::vector<double> weights_;  // profile weight per segment; empty = 1
+  std::vector<double> rates_;    // fused vals * weights (weight 1 if none)
   std::vector<double> prefix_;   // prefix_[k] = integral of env*w on [0, cuts_[k]);
                                  // size cuts_.size() + 1, last = full circle
+  // Bucketized segment finder: lut_[b] is a segment index s with
+  // cuts_[s] <= every angle in bucket b, so segment_of starts there and
+  // advances at most a few cuts instead of binary-searching ~log B probes.
+  // Buckets partition [0, 2*pi) evenly; lut_scale_ = bucket count / 2*pi.
+  // Built only for dense functions (>= kLutMinSegments segments): sparse
+  // ones rebuild far more often than they are probed, so they binary
+  // search and lut_ stays empty with lut_scale_ == 0.
+  static constexpr std::size_t kLutMinSegments = 32;
+  std::vector<std::uint32_t> lut_;
+  double lut_scale_ = 0.0;
   double constant_ = 1.0;        // value when cuts_ is empty
 };
 
@@ -156,12 +175,6 @@ class SelectionEnvironment {
   void audit() const;
 
  private:
-  struct PoiState {
-    std::vector<NodePoiCover> covers;
-    double pt_miss = 1.0;
-    PiecewiseMiss miss;
-    bool dirty = true;  // initial state must bake in the PoI's profile
-  };
   struct Loaded {
     double delivery_prob = 0.0;
     std::vector<std::size_t> touched;  // PoIs this collection covers
@@ -170,7 +183,15 @@ class SelectionEnvironment {
   void refresh(std::size_t poi) const;
 
   const CoverageModel* model_;
-  mutable std::vector<PoiState> pois_;
+  // Per-PoI state as parallel arrays (structure-of-arrays): the hot queries
+  // — point_miss reads and the dirty checks of a batched gain sweep — then
+  // stream dense double/char arrays instead of striding over a struct that
+  // drags each PoI's cover list and miss function through cache with it.
+  // dirty_ starts all-1: the initial rebuild must bake in the PoI profile.
+  mutable std::vector<std::vector<NodePoiCover>> covers_;
+  mutable std::vector<double> pt_miss_;
+  mutable std::vector<PiecewiseMiss> miss_;
+  mutable std::vector<char> dirty_;
   std::unordered_map<NodeId, Loaded> loaded_;
 };
 
@@ -184,6 +205,16 @@ class GreedyPhase {
   /// Expected-coverage gain of adding this footprint to the tentative
   /// selection (lexicographic CoverageValue).
   CoverageValue gain(const PhotoFootprint& fp) const;
+
+  /// Batched gain sweep: out[i] = gain(*fps[i]) for every candidate,
+  /// bit-identical to the one-at-a-time calls (footprint arcs are sorted by
+  /// PoI, so the PoI-major accumulation adds each candidate's terms in the
+  /// same order). With a pool, candidate chunks run on the workers after a
+  /// serial pass rebuilds every dirty PoI the sweep touches; each chunk
+  /// writes only its own output slots, so results do not depend on the
+  /// worker count (util/thread_pool.h).
+  void gains_batch(std::span<const PhotoFootprint* const> fps,
+                   std::span<CoverageValue> out, ThreadPool* pool = nullptr) const;
 
   /// Adds the footprint to the tentative selection.
   void commit(const PhotoFootprint& fp);

@@ -1,8 +1,5 @@
 #include "sim/experiment.h"
 
-#include <future>
-#include <thread>
-
 #include "schemes/factory.h"
 #include "trace/trace_io.h"
 #include "util/check.h"
@@ -44,19 +41,21 @@ SimResult run_single(const ExperimentSpec& spec, std::uint64_t seed) {
   return sim.run(*scheme);
 }
 
-ExperimentResult run_experiment(const ExperimentSpec& spec) {
+ExperimentResult run_experiment(const ExperimentSpec& spec, ThreadPool* pool) {
   PHOTODTN_CHECK(spec.runs >= 1);
-  std::vector<std::future<SimResult>> futures;
-  futures.reserve(spec.runs);
-  for (std::size_t k = 0; k < spec.runs; ++k) {
-    futures.push_back(std::async(std::launch::async,
-                                 [&spec, k] { return run_single(spec, spec.seed_base + k); }));
-  }
+  if (pool == nullptr) pool = &ThreadPool::shared();
+  // One chunk per seed, each writing its own slot; the merge below then
+  // folds the slots in seed order — the same order the old per-seed
+  // std::async fan-out consumed its futures in, but with the pool's bounded
+  // worker set instead of runs-many OS threads.
+  std::vector<SimResult> results(spec.runs);
+  pool->parallel_chunks(spec.runs, [&](std::size_t k) {
+    results[k] = run_single(spec, spec.seed_base + k);
+  });
 
   ExperimentResult out;
   out.scheme = spec.scheme;
-  for (auto& f : futures) {
-    const SimResult r = f.get();
+  for (const SimResult& r : results) {
     if (out.sample_times.empty()) {
       out.sample_times.reserve(r.samples.size());
       for (const SimSample& s : r.samples) out.sample_times.push_back(s.time);
@@ -84,6 +83,10 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     out.total_gossip_losses.add(static_cast<double>(r.counters.gossip_losses));
   }
   return out;
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  return run_experiment(spec, nullptr);
 }
 
 std::vector<ExperimentResult> run_comparison(const ExperimentSpec& base,

@@ -1,7 +1,9 @@
 // Experiment runner: (scenario x scheme x seeds) -> averaged metric curves.
 // Each run builds its own PoI list, trace, workload, and simulator from the
-// run seed, so runs are independent and reproducible; runs execute in
-// parallel across hardware threads.
+// run seed, so runs are independent and reproducible; runs execute on the
+// shared thread pool (util/thread_pool.h) — bounded oversubscription instead
+// of one OS thread per seed — and merge in seed order, so the aggregate is
+// byte-identical for any worker count (PHOTODTN_THREADS=1 included).
 #pragma once
 
 #include <optional>
@@ -10,6 +12,7 @@
 
 #include "dtn/simulator.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 #include "workload/photo_gen.h"
 #include "workload/scenario.h"
 
@@ -58,8 +61,11 @@ struct ExperimentResult {
 /// One full simulation run; exposed so tests can drive single runs.
 SimResult run_single(const ExperimentSpec& spec, std::uint64_t seed);
 
-/// Runs `spec.runs` seeds (seed_base, seed_base+1, ...) in parallel and
-/// aggregates.
+/// Runs `spec.runs` seeds (seed_base, seed_base+1, ...) in parallel on
+/// `pool` (nullptr = the shared pool) and aggregates in seed order. Results
+/// are byte-identical across pool sizes: each run writes its own slot and
+/// the ordered merge folds them deterministically.
+ExperimentResult run_experiment(const ExperimentSpec& spec, ThreadPool* pool);
 ExperimentResult run_experiment(const ExperimentSpec& spec);
 
 /// Convenience: the same scenario under several schemes.

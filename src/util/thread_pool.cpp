@@ -1,0 +1,111 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/env.h"
+
+namespace photodtn {
+
+ThreadPool::ThreadPool(std::size_t concurrency)
+    : concurrency_(std::max<std::size_t>(1, concurrency)) {
+  workers_.reserve(concurrency_ - 1);
+  for (std::size_t i = 0; i + 1 < concurrency_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool([] {
+    const std::int64_t n = env_int("PHOTODTN_THREADS", 0);
+    if (n > 0) return static_cast<std::size_t>(std::min<std::int64_t>(n, 256));
+    return static_cast<std::size_t>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }());
+  return pool;
+}
+
+void ThreadPool::drain(Job& job) {
+  for (;;) {
+    std::size_t chunk;
+    {
+      std::lock_guard<std::mutex> lk(job.mu);
+      if (job.next >= job.total) return;
+      chunk = job.next++;
+    }
+    std::exception_ptr err;
+    try {
+      (*job.fn)(chunk);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lk(job.mu);
+    if (err && !job.error) job.error = err;
+    if (++job.done == job.total) job.all_done.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, nothing left to help with
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    drain(*job);
+  }
+}
+
+void ThreadPool::parallel_chunks(std::size_t chunks,
+                                 const std::function<void(std::size_t)>& fn) {
+  if (chunks == 0) return;
+  if (chunks == 1 || concurrency_ == 1) {
+    // Inline fast path: ascending chunk order on the caller, no queue
+    // traffic. This is also the PHOTODTN_THREADS=1 reference execution the
+    // determinism tests compare the parallel runs against.
+    for (std::size_t c = 0; c < chunks; ++c) fn(c);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->total = chunks;
+  const std::size_t helpers = std::min(concurrency_ - 1, chunks - 1);
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    for (std::size_t i = 0; i < helpers; ++i) queue_.push_back(job);
+  }
+  if (helpers == 1) {
+    queue_cv_.notify_one();
+  } else {
+    queue_cv_.notify_all();
+  }
+  drain(*job);  // the caller is always one of the executors
+  std::unique_lock<std::mutex> lk(job->mu);
+  job->all_done.wait(lk, [&] { return job->done == job->total; });
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  PHOTODTN_CHECK_MSG(grain > 0, "parallel_for grain must be positive");
+  const std::size_t chunks = (n + grain - 1) / grain;
+  parallel_chunks(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    body(begin, std::min(n, begin + grain));
+  });
+}
+
+}  // namespace photodtn

@@ -1,0 +1,106 @@
+// Deterministic shared thread pool: a fixed set of workers executing
+// *chunked* jobs whose chunk -> data mapping is decided entirely by the
+// caller. The pool never reorders, splits, or merges chunks; which worker
+// runs a chunk is scheduling noise that must not be observable. Determinism
+// therefore rests on two caller-side rules, used throughout the repo:
+//
+//   1. Each chunk writes only its own output slots (out[i] per candidate,
+//      results[k] per run). Writes to disjoint slots commute, so the result
+//      is bit-identical for any worker count, including zero workers.
+//   2. Reductions fold the per-chunk partials *in chunk order* after the
+//      barrier (parallel_reduce), or combine with an order-free exact
+//      comparator (the greedy argmax honors the lowest-PhotoId tie-break,
+//      making the winner independent of chunk boundaries).
+//
+// The shared() pool is sized by PHOTODTN_THREADS (default: hardware
+// concurrency) and replaces the old per-seed std::async fan-out — bounded
+// oversubscription instead of one OS thread per seed. parallel_chunks is
+// re-entrant: a chunk body may itself call parallel_chunks on the same pool
+// (the caller always participates, so nested calls make progress even when
+// every worker is busy with long outer tasks).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace photodtn {
+
+class ThreadPool {
+ public:
+  /// `concurrency` counts the calling thread: a pool built with 1 spawns no
+  /// workers and runs every chunk inline on the caller, in chunk order.
+  /// 0 is clamped to 1.
+  explicit ThreadPool(std::size_t concurrency);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool, sized by PHOTODTN_THREADS at first use
+  /// (unset or <= 0 falls back to std::thread::hardware_concurrency).
+  static ThreadPool& shared();
+
+  std::size_t concurrency() const noexcept { return concurrency_; }
+
+  /// Runs fn(chunk) for every chunk in [0, chunks), blocking until all
+  /// complete. The caller participates; with no workers (or from inside a
+  /// busy pool) it simply runs the chunks itself in ascending order. The
+  /// first exception a chunk throws is rethrown here after the barrier.
+  void parallel_chunks(std::size_t chunks,
+                       const std::function<void(std::size_t)>& fn);
+
+  /// Chunked parallel-for over [0, n): body(begin, end) per chunk, with
+  /// chunk boundaries fixed by `grain` alone — never by the worker count —
+  /// so any per-chunk accumulation order is reproducible across pools.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Ordered reduction: partial = map(chunk) for each chunk in parallel,
+  /// then acc = combine(acc, partial) serially *in ascending chunk order*.
+  /// With a deterministic map and this fixed fold order, the result is
+  /// bit-identical for any concurrency.
+  template <typename T, typename MapFn, typename CombineFn>
+  T parallel_reduce(std::size_t chunks, T init, const MapFn& map,
+                    const CombineFn& combine) {
+    std::vector<T> parts(chunks);
+    parallel_chunks(chunks,
+                    [&](std::size_t c) { parts[c] = map(c); });
+    T acc = std::move(init);
+    for (std::size_t c = 0; c < chunks; ++c)
+      acc = combine(std::move(acc), std::move(parts[c]));
+    return acc;
+  }
+
+ private:
+  /// One parallel_chunks invocation: workers and the caller race on `next`
+  /// (claiming chunks), and the caller waits until `done` reaches `total`.
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t total = 0;
+    std::size_t next = 0;  // guarded by mu
+    std::size_t done = 0;  // guarded by mu
+    std::exception_ptr error;
+    std::mutex mu;
+    std::condition_variable all_done;
+  };
+
+  void worker_loop();
+  /// Claims and runs chunks of `job` until none are left.
+  static void drain(Job& job);
+
+  std::size_t concurrency_;
+  std::vector<std::thread> workers_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Job>> queue_;  // one entry per pending helper
+  bool stopping_ = false;
+};
+
+}  // namespace photodtn

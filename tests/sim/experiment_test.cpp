@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "sim/result_io.h"
 #include "trace/trace_io.h"
+#include "util/thread_pool.h"
 
 namespace photodtn {
 namespace {
@@ -84,6 +88,25 @@ TEST(Experiment, ParallelAggregationIsDeterministic) {
   EXPECT_DOUBLE_EQ(a.final_aspect.mean(), b.final_aspect.mean());
   EXPECT_DOUBLE_EQ(a.final_delivered.mean(), b.final_delivered.mean());
   EXPECT_EQ(a.point.means(), b.point.means());
+}
+
+TEST(Experiment, PoolSizeDoesNotChangeAnyAggregateByte) {
+  // The whole determinism contract in one assertion: a serial pool and a
+  // 4-thread pool must yield byte-identical serialized results — every
+  // float, every counter, every curve.
+  const ExperimentSpec spec = tiny_spec("OurScheme", 4);
+  ThreadPool serial(1), wide(4);
+  const std::string a = experiment_result_to_json(run_experiment(spec, &serial));
+  const std::string b = experiment_result_to_json(run_experiment(spec, &wide));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Experiment, NullPoolUsesTheSharedPool) {
+  const ExperimentSpec spec = tiny_spec("OurScheme", 2);
+  ThreadPool serial(1);
+  const std::string a = experiment_result_to_json(run_experiment(spec, &serial));
+  const std::string b = experiment_result_to_json(run_experiment(spec, nullptr));
+  EXPECT_EQ(a, b);
 }
 
 TEST(Experiment, DeliveredIdSequenceIsReproducible) {

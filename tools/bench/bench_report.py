@@ -2,20 +2,31 @@
 """Perf-regression report for the selection engine and the e2e loop.
 
 Runs bench_micro (google-benchmark) with JSON output and distills it into
-two stable, diff-friendly JSON artifacts at the repo root:
+stable, diff-friendly JSON artifacts at the repo root:
 
-  BENCH_selection.json  - engine microbenches (greedy gain, env build,
-                          reconcile, select) with median ns/op per name, plus
-                          the derived prefix-sum vs legacy-scan speedup on
-                          the greedy-gain sweep and whether it meets the
-                          >= 5x target at 64 PoIs / 256 candidates.
-  BENCH_e2e.json        - the end-to-end simulator bench (clean run).
-  BENCH_faults.json     - the clean/faulted e2e pair plus two derived
-                          ratios: what the active fault plan costs the
-                          mission (faulted_vs_clean) and what the fault
-                          layer costs a clean run (clean_vs_prior, measured
-                          against the previously committed BENCH_e2e.json;
-                          tracked target < 5%).
+  BENCH_selection.json  - engine microbenches (greedy gain, batched SoA
+                          sweep, CELF selection, env build, reconcile,
+                          select) with median ns/op per name, plus derived
+                          numbers: the batched-kernel vs legacy-scan speedup
+                          on the greedy-gain sweep (target below) and the
+                          CELF lazy re-evaluation rate.
+  BENCH_e2e.json        - the end-to-end simulator bench (clean run) and
+                          the pool-backed multi-seed experiment sweep.
+  BENCH_faults.json     - the clean/faulted e2e pair plus derived numbers:
+                          what the active fault plan costs the mission
+                          (faulted_vs_clean), and the clean-run drift vs the
+                          previously committed BENCH_e2e.json reported two
+                          ways — clean_delta_vs_prior is the *signed* drift
+                          (negative = this commit is faster), while
+                          clean_overhead_vs_prior clamps at zero and is the
+                          number the < 5% overhead gate checks. Earlier
+                          revisions conflated the two, so a 6% *improvement*
+                          read as if it were being tested against the
+                          overhead budget.
+
+Every run also appends one line to BENCH_history.jsonl (git sha, UTC date,
+all medians, all derived numbers) — an append-only perf trajectory that
+survives the snapshot JSONs being overwritten each PR.
 
 CI runs this as a smoke job (with PHOTODTN_BENCH_RUNS reduced) and uploads
 the JSONs as artifacts; numbers committed at the repo root record the perf
@@ -30,6 +41,7 @@ advisory in CI smoke runs (shared runners are noisy), enforced locally.
 """
 
 import argparse
+import datetime
 import json
 import statistics
 import subprocess
@@ -37,21 +49,36 @@ import sys
 from pathlib import Path
 
 SELECTION_FILTER = (
-    "BM_GreedyGain|BM_GreedyGainScan|BM_SelectionEnvBuild|"
-    "BM_SelectionEnvReconcile|BM_GreedySelectEnv"
+    "BM_GreedyGain|BM_GreedyGainScan|BM_GainsBatch|BM_GreedyGainCelf|"
+    "BM_SelectionEnvBuild|BM_SelectionEnvReconcile|BM_GreedySelectEnv"
 )
+E2E_EXTRA_FILTER = "BM_ExperimentSweep"
 FAULTS_FILTER = "BM_OurSchemeE2E(_Faults)?$"
 E2E_CLEAN = "BM_OurSchemeE2E"
 E2E_FAULTED = "BM_OurSchemeE2E_Faults"
+CELF_BENCH = "BM_GreedyGainCelf/250/256"
 # Fault-layer overhead on a clean run (new clean median vs the previously
-# committed one): tracked, target < 5%. Advisory — committed numbers and CI
-# runners differ in load, so --check reports but does not fail on it.
+# committed one): tracked, target < 5%. The gate checks the clamped
+# overhead; the signed delta is recorded alongside it. Advisory — committed
+# numbers and CI runners differ in load, so --check reports but does not
+# fail on it.
 FAULT_OVERHEAD_TARGET = 0.05
 
-# The tentpole target: prefix-sum gain sweep at least 5x the legacy scan at
-# 64 PoIs / 256 candidates.
+# The tentpole target: the production gain sweep (batched SoA kernels +
+# bucket-LUT segment lookup) vs the legacy per-segment scan at 64 PoIs /
+# 256 candidates. Raised from 5x after the batched kernels landed measuring
+# ~27x on the reference box — 15x keeps headroom for runner noise.
 TARGET_PAIR = ("BM_GreedyGain/64/256", "BM_GreedyGainScan/64/256")
-TARGET_SPEEDUP = 5.0
+TARGET_SPEEDUP = 15.0
+
+# google-benchmark's fixed per-benchmark JSON keys; anything else numeric is
+# a user counter (reeval_rate, segs_per_poi, ...).
+_STANDARD_KEYS = {
+    "name", "family_index", "per_family_instance_index", "run_name",
+    "run_type", "repetitions", "repetition_index", "threads", "iterations",
+    "real_time", "cpu_time", "time_unit", "aggregate_name", "label",
+    "error_occurred", "error_message",
+}
 
 
 def git_sha(repo_root: Path) -> str:
@@ -84,8 +111,9 @@ def run_bench(binary: Path, bench_filter: str, repetitions: int) -> dict:
 
 
 def median_ns_by_name(raw: dict) -> dict:
-    """name -> {median_ns, runs} over the per-repetition iterations."""
+    """name -> {median_ns, runs[, counters]} over per-repetition iterations."""
     samples: dict[str, list[float]] = {}
+    counters: dict[str, dict[str, list[float]]] = {}
     for b in raw.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue  # we aggregate ourselves
@@ -94,15 +122,49 @@ def median_ns_by_name(raw: dict) -> dict:
         unit = b.get("time_unit", "ns")
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
         samples.setdefault(name, []).append(float(b["real_time"]) * scale)
-    return {
-        name: {"median_ns": statistics.median(vals), "runs": len(vals)}
-        for name, vals in sorted(samples.items())
-    }
+        for key, val in b.items():
+            if key in _STANDARD_KEYS or not isinstance(val, (int, float)):
+                continue
+            counters.setdefault(name, {}).setdefault(key, []).append(float(val))
+    out = {}
+    for name, vals in sorted(samples.items()):
+        entry = {"median_ns": statistics.median(vals), "runs": len(vals)}
+        if name in counters:
+            entry["counters"] = {
+                k: statistics.median(v) for k, v in sorted(counters[name].items())
+            }
+        out[name] = entry
+    return out
 
 
 def write_report(path: Path, payload: dict) -> None:
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path}")
+
+
+def append_history(out_dir: Path, sha: str, reports: dict) -> None:
+    """One JSONL line per report run: the append-only perf trajectory."""
+    record = {
+        "schema": "photodtn-bench-history/1",
+        "git_sha": sha,
+        "date_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "medians_ns": {
+            name: entry["median_ns"]
+            for report in reports.values()
+            for name, entry in report.get("benchmarks", {}).items()
+        },
+        "derived": {
+            key: val
+            for report in reports.values()
+            for key, val in report.get("derived", {}).items()
+        },
+    }
+    path = out_dir / "BENCH_history.jsonl"
+    with path.open("a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"appended {path}")
 
 
 def main() -> int:
@@ -131,19 +193,20 @@ def main() -> int:
         if engine and baseline and engine["median_ns"] > 0
         else None
     )
-    write_report(
-        args.out_dir / "BENCH_selection.json",
-        {
-            "schema": "photodtn-bench/1",
-            "git_sha": sha,
-            "benchmarks": selection,
-            "derived": {
-                "greedy_gain_speedup": speedup,
-                "speedup_target": TARGET_SPEEDUP,
-                "meets_target": speedup is not None and speedup >= TARGET_SPEEDUP,
-            },
+    celf = selection.get(CELF_BENCH, {})
+    celf_reeval_rate = celf.get("counters", {}).get("reeval_rate")
+    selection_report = {
+        "schema": "photodtn-bench/1",
+        "git_sha": sha,
+        "benchmarks": selection,
+        "derived": {
+            "greedy_gain_speedup": speedup,
+            "speedup_target": TARGET_SPEEDUP,
+            "meets_target": speedup is not None and speedup >= TARGET_SPEEDUP,
+            "celf_reeval_rate": celf_reeval_rate,
         },
-    )
+    }
+    write_report(args.out_dir / "BENCH_selection.json", selection_report)
 
     # Snapshot the previously committed clean e2e median *before* we
     # overwrite it: it is the baseline for the fault-layer overhead check
@@ -161,14 +224,17 @@ def main() -> int:
         run_bench(args.bench_binary, FAULTS_FILTER, args.repetitions)
     )
     e2e = {k: v for k, v in e2e_all.items() if k == E2E_CLEAN}
-    write_report(
-        prior_e2e_path,
-        {
-            "schema": "photodtn-bench/1",
-            "git_sha": sha,
-            "benchmarks": e2e,
-        },
+    e2e.update(
+        median_ns_by_name(
+            run_bench(args.bench_binary, E2E_EXTRA_FILTER, args.repetitions)
+        )
     )
+    e2e_report = {
+        "schema": "photodtn-bench/1",
+        "git_sha": sha,
+        "benchmarks": e2e,
+    }
+    write_report(prior_e2e_path, e2e_report)
 
     clean, faulted = (e2e_all.get(n) for n in (E2E_CLEAN, E2E_FAULTED))
     faulted_vs_clean = (
@@ -176,36 +242,52 @@ def main() -> int:
         if clean and faulted and clean["median_ns"] > 0
         else None
     )
-    clean_vs_prior = (
+    # Signed drift of this commit's clean run vs the committed snapshot;
+    # the overhead gate only looks at slowdowns (clamped at zero), so an
+    # improvement can never be mistaken for budget consumption.
+    clean_delta = (
         clean["median_ns"] / prior_clean_ns - 1.0
         if clean and prior_clean_ns
         else None
     )
-    write_report(
-        args.out_dir / "BENCH_faults.json",
+    clean_overhead = max(0.0, clean_delta) if clean_delta is not None else None
+    faults_report = {
+        "schema": "photodtn-bench/1",
+        "git_sha": sha,
+        "benchmarks": e2e_all,
+        "derived": {
+            "faulted_vs_clean": faulted_vs_clean,
+            "clean_delta_vs_prior": clean_delta,
+            "clean_overhead_vs_prior": clean_overhead,
+            "overhead_target": FAULT_OVERHEAD_TARGET,
+            "meets_overhead_target": clean_overhead is not None
+            and clean_overhead < FAULT_OVERHEAD_TARGET,
+        },
+    }
+    write_report(args.out_dir / "BENCH_faults.json", faults_report)
+
+    append_history(
+        args.out_dir,
+        sha,
         {
-            "schema": "photodtn-bench/1",
-            "git_sha": sha,
-            "benchmarks": e2e_all,
-            "derived": {
-                "faulted_vs_clean": faulted_vs_clean,
-                "clean_overhead_vs_prior": clean_vs_prior,
-                "overhead_target": FAULT_OVERHEAD_TARGET,
-                "meets_overhead_target": clean_vs_prior is not None
-                and clean_vs_prior < FAULT_OVERHEAD_TARGET,
-            },
+            "selection": selection_report,
+            "e2e": e2e_report,
+            "faults": faults_report,
         },
     )
 
     if speedup is not None:
-        print(f"greedy gain speedup (prefix vs scan, 64 PoIs / 256 cands): "
+        print(f"greedy gain speedup (batched vs scan, 64 PoIs / 256 cands): "
               f"{speedup:.2f}x (target {TARGET_SPEEDUP:.1f}x)")
+    if celf_reeval_rate is not None:
+        print(f"CELF re-evaluation rate (250 PoIs / 256 cands): "
+              f"{celf_reeval_rate:.3f}")
     if faulted_vs_clean is not None:
         print(f"faulted e2e vs clean: {faulted_vs_clean:.3f}x")
-    if clean_vs_prior is not None:
-        print(f"fault-layer overhead on clean run vs prior commit: "
-              f"{100.0 * clean_vs_prior:+.1f}% (target < "
-              f"{100.0 * FAULT_OVERHEAD_TARGET:.0f}%)")
+    if clean_delta is not None:
+        print(f"clean e2e drift vs prior commit: {100.0 * clean_delta:+.1f}% "
+              f"(overhead gate < {100.0 * FAULT_OVERHEAD_TARGET:.0f}% "
+              f"on slowdowns only)")
     if args.check and (speedup is None or speedup < TARGET_SPEEDUP):
         print("FAIL: speedup target missed", file=sys.stderr)
         return 1
