@@ -432,6 +432,19 @@ void BM_OurSchemeE2E_Faults(benchmark::State& state) {
 }
 BENCHMARK(BM_OurSchemeE2E_Faults);
 
+/// The same clean scenario with the obs layer fully on (metrics registry +
+/// span recording). Paired with BM_OurSchemeE2E in BENCH_obs.json: the
+/// enabled cost is advisory; the *disabled* cost is the gate — with obs off
+/// (the plain BM_OurSchemeE2E, every record site a null/branch test),
+/// BENCH_obs.json tracks the clean e2e median against its pre-obs prior.
+void BM_OurSchemeE2E_Obs(benchmark::State& state) {
+  ExperimentSpec spec = e2e_spec();
+  spec.scenario.sim.obs.metrics = true;
+  spec.scenario.sim.obs.trace = true;
+  for (auto _ : state) benchmark::DoNotOptimize(run_single(spec, 42));
+}
+BENCHMARK(BM_OurSchemeE2E_Obs);
+
 /// Multi-seed experiment sweep on an explicit pool — the run_experiment hot
 /// path that used to spawn one std::async thread per seed. range = pool
 /// threads (0 = the shared pool). The aggregate is byte-identical across

@@ -5,11 +5,16 @@
 // teaching how the Section III algorithm behaves contact by contact.
 //
 // Run: ./mission_timeline
+// Besides the console narration, the run records the obs layer's metrics
+// and span stream and writes mission_trace.json — open it in
+// chrome://tracing or https://ui.perfetto.dev to scrub the same mission on
+// a timeline (EXPERIMENTS.md has the recipe).
 #include <cstdio>
 #include <string>
 
 #include "dtn/simulator.h"
 #include "geometry/angle.h"
+#include "obs/chrome_trace.h"
 #include "schemes/factory.h"
 #include "util/rng.h"
 #include "workload/photo_gen.h"
@@ -75,6 +80,8 @@ int main() {
   cfg.faults.contact_interrupt_prob = 0.1;
   cfg.faults.interrupt_fraction_min = 0.2;
   cfg.faults.interrupt_fraction_max = 0.8;
+  cfg.obs.metrics = true;  // record sim.*/scheme.* metrics ...
+  cfg.obs.trace = true;    // ... and the span stream for the Chrome trace
   Simulator sim(model, trace, std::move(events), cfg);
 
   std::size_t shown = 0;
@@ -130,5 +137,10 @@ int main() {
               (unsigned long long)r.counters.interrupted_contacts,
               (unsigned long long)r.counters.missed_contacts,
               (unsigned long long)r.counters.photos_lost_to_crash);
+  const char* trace_path = "mission_trace.json";
+  if (obs::write_chrome_trace(trace_path, r.obs.trace_events, &r.obs.metrics))
+    std::printf("Trace: %zu events written to %s — open in chrome://tracing "
+                "or ui.perfetto.dev.\n",
+                r.obs.trace_events.size(), trace_path);
   return 0;
 }

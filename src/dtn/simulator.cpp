@@ -30,9 +30,13 @@ std::uint64_t ContactSession::wire_carry(std::uint64_t bytes, PhotoId photo) {
   // and are gone, but the operation never completes.
   spent_ = cut_after_;
   severed_ = true;
-  ++sim_.counters_.interrupted_contacts;
-  sim_.counters_.partial_bytes += remaining;
+  sim_.bump(sim_.ids_.interrupted_contacts);
+  sim_.bump(sim_.ids_.partial_bytes, remaining);
   sim_.emit(SimEvent::Type::kContactInterrupted, contact_.a, contact_.b, photo);
+  PHOTODTN_OBS_TRACE(&sim_.obs_,
+                     instant("linkcut", "fault", sim_.now_, contact_.a,
+                             {{"peer", static_cast<double>(contact_.b)},
+                              {"photo", static_cast<double>(photo)}}));
   return remaining;
 }
 
@@ -59,16 +63,16 @@ bool ContactSession::transfer(PhotoId photo, NodeId from, NodeId to, bool keep_s
   Node& dst = sim_.node(to);
   const PhotoMeta* meta = src.store().find(photo);
   if (meta == nullptr) {
-    ++sim_.counters_.failed_transfers;
+    sim_.bump(sim_.ids_.failed_transfers);
     return false;
   }
   if (dst.store().contains(photo)) {
-    ++sim_.counters_.failed_transfers;
+    sim_.bump(sim_.ids_.failed_transfers);
     return false;
   }
   const std::uint64_t bytes = meta->size_bytes;
   if (!can_transfer(bytes) || !dst.store().can_fit(bytes)) {
-    ++sim_.counters_.failed_transfers;
+    sim_.bump(sim_.ids_.failed_transfers);
     return false;
   }
   const std::uint64_t carried = wire_carry(bytes, photo);
@@ -77,16 +81,21 @@ bool ContactSession::transfer(PhotoId photo, NodeId from, NodeId to, bool keep_s
     // Interrupted mid-flight: the wire bytes are spent, the photo never
     // materializes at the receiver, and the source keeps its copy (a
     // half-received file is discarded, a half-sent one is still whole).
-    ++sim_.counters_.interrupted_transfers;
-    ++sim_.counters_.failed_transfers;
+    sim_.bump(sim_.ids_.interrupted_transfers);
+    sim_.bump(sim_.ids_.failed_transfers);
     return false;
   }
   const PhotoMeta copy = *meta;  // copy before any mutation invalidates `meta`
   const bool added = dst.store().add(copy);
   PHOTODTN_CHECK(added);
-  ++sim_.counters_.transfers;
-  sim_.counters_.bytes_transferred += bytes;
+  sim_.bump(sim_.ids_.transfers);
+  sim_.bump(sim_.ids_.bytes_transferred, bytes);
   sim_.emit(SimEvent::Type::kTransfer, from, to, photo);
+  PHOTODTN_OBS_TRACE(&sim_.obs_,
+                     instant("transfer", "photo", sim_.now_, from,
+                             {{"photo", static_cast<double>(photo)},
+                              {"to", static_cast<double>(to)},
+                              {"bytes", static_cast<double>(bytes)}}));
   if (!keep_source) src.store().remove(photo);
   if (to == kCommandCenter) sim_.register_delivery(from, copy);
   return true;
@@ -101,7 +110,31 @@ Simulator::Simulator(const CoverageModel& model, const ContactTrace& trace,
       rng_(config.seed),
       faults_(config.faults, trace.num_nodes(), trace.horizon(), config.seed),
       down_(static_cast<std::size_t>(trace.num_nodes()), 0),
-      cc_coverage_(model) {
+      cc_coverage_(model),
+      obs_(config_.obs.merged_with_env()) {
+  // The sim's own counters live on the registry unconditionally: golden
+  // outputs read them through SimCounters, and an indexed add costs what
+  // the old struct increment did.
+  obs::MetricsRegistry& reg = obs_.registry();
+  ids_.contacts = reg.counter("sim.contacts");
+  ids_.photos_taken = reg.counter("sim.photos_taken");
+  ids_.transfers = reg.counter("sim.transfers");
+  ids_.bytes_transferred = reg.counter("sim.bytes_transferred");
+  ids_.failed_transfers = reg.counter("sim.failed_transfers");
+  ids_.drops = reg.counter("sim.drops");
+  ids_.delivered = reg.counter("sim.delivered");
+  ids_.interrupted_contacts = reg.counter("sim.interrupted_contacts");
+  ids_.interrupted_transfers = reg.counter("sim.interrupted_transfers");
+  ids_.partial_bytes = reg.counter("sim.partial_bytes");
+  ids_.missed_contacts = reg.counter("sim.missed_contacts");
+  ids_.node_crashes = reg.counter("sim.node_crashes");
+  ids_.photos_lost_to_crash = reg.counter("sim.photos_lost_to_crash");
+  ids_.photos_missed_down = reg.counter("sim.photos_missed_down");
+  ids_.gossip_losses = reg.counter("sim.gossip_losses");
+  if (obs_.metrics_on()) {
+    h_contact_bytes_ = reg.histogram(
+        "sim.contact_bytes", obs::MetricsRegistry::exp_bounds(1024, 4.0, 12));
+  }
   std::sort(photo_events_.begin(), photo_events_.end(),
             [](const PhotoEvent& x, const PhotoEvent& y) { return x.time < y.time; });
   const std::uint64_t storage =
@@ -133,17 +166,24 @@ bool Simulator::drop_photo(NodeId id, PhotoId photo) {
   if (id == kCommandCenter) return false;  // the center never drops (§III-C)
   const bool removed = node(id).store().remove(photo);
   if (removed) {
-    ++counters_.drops;
+    bump(ids_.drops);
     emit(SimEvent::Type::kDrop, id, -1, photo);
+    PHOTODTN_OBS_TRACE(&obs_, instant("drop", "photo", now_, id,
+                                      {{"photo", static_cast<double>(photo)}}));
   }
   return removed;
 }
 
 void Simulator::register_delivery(NodeId from, const PhotoMeta& photo) {
   ++delivered_;
+  bump(ids_.delivered);
   delivered_ids_.push_back(photo.id);
   cc_coverage_.add(model_->footprint_cached(photo));
   emit(SimEvent::Type::kDelivery, from, kCommandCenter, photo.id);
+  PHOTODTN_OBS_TRACE(&obs_,
+                     instant("delivery", "delivery", now_, kCommandCenter,
+                             {{"photo", static_cast<double>(photo.id)},
+                              {"from", static_cast<double>(from)}}));
 }
 
 void Simulator::apply_churn(const ChurnTransition& tr, Scheme& scheme) {
@@ -151,10 +191,12 @@ void Simulator::apply_churn(const ChurnTransition& tr, Scheme& scheme) {
   if (!tr.up) {
     PHOTODTN_DCHECK_MSG(d == 0, "down transition for an already-down node");
     d = 1;
-    ++counters_.node_crashes;
+    bump(ids_.node_crashes);
+    PHOTODTN_OBS_TRACE(&obs_, instant("crash", "fault", now_, tr.node,
+                                      {{"wipe", tr.wipe ? 1.0 : 0.0}}));
     Node& n = node(tr.node);
     if (tr.wipe) {
-      counters_.photos_lost_to_crash += n.store().size();
+      bump(ids_.photos_lost_to_crash, n.store().size());
       n.store().clear();
       // Routing soft state dies with the flash: the reboot re-learns rates
       // and predictabilities from scratch (peers keep their view of us —
@@ -168,6 +210,7 @@ void Simulator::apply_churn(const ChurnTransition& tr, Scheme& scheme) {
   } else {
     PHOTODTN_DCHECK_MSG(d == 1, "up transition for a node that is not down");
     d = 0;
+    PHOTODTN_OBS_TRACE(&obs_, instant("reboot", "fault", now_, tr.node));
     emit(SimEvent::Type::kNodeUp, tr.node, -1, 0);
     scheme.on_node_up(*this, tr.node);
   }
@@ -180,8 +223,16 @@ void Simulator::take_sample() {
   s.aspect_coverage = cc_coverage_.normalized_aspect();
   s.full_view_coverage = cc_coverage_.full_view_fraction();
   s.delivered_photos = delivered_;
-  s.bytes_transferred = counters_.bytes_transferred;
+  s.bytes_transferred = obs_.registry().value(ids_.bytes_transferred);
   samples_.push_back(s);
+  // Counter tracks for the trace timeline (Chrome renders them as area
+  // charts above the event lanes).
+  PHOTODTN_OBS_TRACE(&obs_, counter("delivered_photos", now_,
+                                    static_cast<double>(s.delivered_photos)));
+  PHOTODTN_OBS_TRACE(&obs_, counter("bytes_transferred", now_,
+                                    static_cast<double>(s.bytes_transferred)));
+  PHOTODTN_OBS_TRACE(&obs_, counter("point_coverage", now_, s.point_coverage));
+  PHOTODTN_OBS_TRACE(&obs_, counter("aspect_coverage", now_, s.aspect_coverage));
 }
 
 SimResult Simulator::run(Scheme& scheme) {
@@ -227,11 +278,14 @@ SimResult Simulator::run(Scheme& scheme) {
       PHOTODTN_CHECK_MSG(ev.node > kCommandCenter && ev.node < num_nodes(),
                          "photo taken by unknown node");
       if (down_[static_cast<std::size_t>(ev.node)]) {
-        ++counters_.photos_missed_down;  // a crashed device takes no photos
+        bump(ids_.photos_missed_down);  // a crashed device takes no photos
         continue;
       }
-      ++counters_.photos_taken;
+      bump(ids_.photos_taken);
       emit(SimEvent::Type::kPhotoTaken, ev.node, -1, ev.photo.id);
+      PHOTODTN_OBS_TRACE(&obs_,
+                         instant("capture", "photo", now_, ev.node,
+                                 {{"photo", static_cast<double>(ev.photo.id)}}));
       scheme.on_photo_taken(*this, ev.node, ev.photo);
       continue;
     }
@@ -240,10 +294,10 @@ SimResult Simulator::run(Scheme& scheme) {
     if (down_[static_cast<std::size_t>(c.a)] || down_[static_cast<std::size_t>(c.b)]) {
       // Real absence: no rate/PROPHET update, no metadata, no payload — the
       // surviving peer does not even know the opportunity existed.
-      ++counters_.missed_contacts;
+      bump(ids_.missed_contacts);
       continue;
     }
-    ++counters_.contacts;
+    bump(ids_.contacts);
     emit(SimEvent::Type::kContact, c.a, c.b, 0);
     Node& na = node(c.a);
     Node& nb = node(c.b);
@@ -273,11 +327,21 @@ SimResult Simulator::run(Scheme& scheme) {
                 ? capacity
                 : static_cast<std::uint64_t>(scaled);
     }
-    counters_.gossip_losses +=
-        static_cast<std::uint64_t>(cf.gossip_lost_ab) + (cf.gossip_lost_ba ? 1u : 0u);
+    bump(ids_.gossip_losses, static_cast<std::uint64_t>(cf.gossip_lost_ab) +
+                                 (cf.gossip_lost_ba ? 1u : 0u));
     ContactSession session(*this, c, budget, unlimited, cut, cf.gossip_lost_ab,
                            cf.gossip_lost_ba);
     scheme.on_contact(*this, session);
+    if (obs_.metrics_on()) {
+      obs_.registry().record(h_contact_bytes_, session.bytes_used());
+    }
+    PHOTODTN_OBS_TRACE(
+        &obs_, complete("contact", "contact", c.start, c.duration, c.a,
+                        {{"peer", static_cast<double>(c.b)},
+                         {"bytes", static_cast<double>(session.bytes_used())},
+                         {"budget", session.unlimited()
+                                        ? -1.0
+                                        : static_cast<double>(budget)}}));
   }
 
   // Trailing samples up to and including the horizon.
@@ -294,8 +358,31 @@ SimResult Simulator::run(Scheme& scheme) {
   result.final_aspect_norm = cc_coverage_.normalized_aspect();
   result.delivered_photos = delivered_;
   result.delivered_ids = std::move(delivered_ids_);
-  result.counters = counters_;
+  result.counters = read_counters();
+  PHOTODTN_AUDIT(obs_.audit());
+  if (obs_.metrics_on()) result.obs.metrics = obs_.registry().snapshot();
+  if (obs_.trace_on()) result.obs.trace_events = obs_.trace().merged();
   return result;
+}
+
+SimCounters Simulator::read_counters() const {
+  const obs::MetricsRegistry& reg = obs_.registry();
+  SimCounters c;
+  c.contacts = reg.value(ids_.contacts);
+  c.photos_taken = reg.value(ids_.photos_taken);
+  c.transfers = reg.value(ids_.transfers);
+  c.bytes_transferred = reg.value(ids_.bytes_transferred);
+  c.failed_transfers = reg.value(ids_.failed_transfers);
+  c.drops = reg.value(ids_.drops);
+  c.interrupted_contacts = reg.value(ids_.interrupted_contacts);
+  c.interrupted_transfers = reg.value(ids_.interrupted_transfers);
+  c.partial_bytes = reg.value(ids_.partial_bytes);
+  c.missed_contacts = reg.value(ids_.missed_contacts);
+  c.node_crashes = reg.value(ids_.node_crashes);
+  c.photos_lost_to_crash = reg.value(ids_.photos_lost_to_crash);
+  c.photos_missed_down = reg.value(ids_.photos_missed_down);
+  c.gossip_losses = reg.value(ids_.gossip_losses);
+  return c;
 }
 
 }  // namespace photodtn

@@ -16,6 +16,7 @@
 #include "dtn/fault.h"
 #include "dtn/node.h"
 #include "dtn/scheme.h"
+#include "obs/obs.h"
 #include "trace/contact_trace.h"
 #include "util/rng.h"
 
@@ -47,6 +48,10 @@ struct SimConfig {
   /// layer (the injector draws from its own streams, never from `seed`'s
   /// scheme-visible Rng).
   FaultConfig faults;
+  /// Observability switches (obs/obs.h). The simulator always merges the
+  /// PHOTODTN_OBS environment switch in, so either side can enable metrics
+  /// and tracing; both default off and cost one branch per site when off.
+  obs::ObsConfig obs;
   std::uint64_t seed = 1;
 };
 
@@ -119,6 +124,9 @@ struct SimResult {
   /// metadata when the workload applied sensor noise.
   std::vector<PhotoId> delivered_ids;
   SimCounters counters;
+  /// Metrics snapshot + merged trace events; empty unless the run enabled
+  /// the corresponding ObsConfig switch. Never feeds golden comparisons.
+  obs::ObsReport obs;
 };
 
 class Simulator;
@@ -143,6 +151,12 @@ class SimContext {
   /// Drops a photo from a node's buffer. The command center never drops
   /// (returns false).
   virtual bool drop_photo(NodeId node, PhotoId photo) = 0;
+
+  /// The run's observability bundle, or nullptr when the context has none
+  /// (the default keeps scheme unit-test mocks source-compatible). Schemes
+  /// must check metrics_on()/trace_on() before paying any instrumentation
+  /// cost beyond the null test.
+  virtual obs::Obs* obs() { return nullptr; }
 };
 
 /// A live contact: byte budget plus transfer primitive. When the fault
@@ -246,6 +260,7 @@ class Simulator : public SimContext {
   Rng& rng() override { return rng_; }
   bool store_photo(NodeId node, const PhotoMeta& photo) override;
   bool drop_photo(NodeId node, PhotoId photo) override;
+  obs::Obs* obs() override { return &obs_; }
 
   /// Coverage achieved by the command center so far (read-only; schemes
   /// must not consult this — they only see metadata acknowledgments).
@@ -259,9 +274,26 @@ class Simulator : public SimContext {
 
  private:
   friend class ContactSession;
+
+  /// The simulator's own counters, pre-registered on the obs registry (the
+  /// registry is the single source of truth; SimCounters is materialized
+  /// from it at the end of run()). Registration order fixes the handle
+  /// indices; the snapshot sorts by name, so output never depends on it.
+  struct CounterIds {
+    obs::MetricsRegistry::Counter contacts, photos_taken, transfers,
+        bytes_transferred, failed_transfers, drops, delivered,
+        interrupted_contacts, interrupted_transfers, partial_bytes,
+        missed_contacts, node_crashes, photos_lost_to_crash,
+        photos_missed_down, gossip_losses;
+  };
+
   void register_delivery(NodeId from, const PhotoMeta& photo);
   void apply_churn(const ChurnTransition& tr, Scheme& scheme);
   void take_sample();
+  SimCounters read_counters() const;
+  void bump(obs::MetricsRegistry::Counter c, std::uint64_t n = 1) {
+    obs_.registry().add(c, n);
+  }
   void emit(SimEvent::Type type, NodeId a, NodeId b, PhotoId photo) const {
     if (listener_) listener_(SimEvent{type, now_, a, b, photo});
   }
@@ -278,7 +310,9 @@ class Simulator : public SimContext {
   CoverageMap cc_coverage_;
   double now_ = 0.0;
   bool ran_ = false;
-  SimCounters counters_;
+  obs::Obs obs_;  // after config_: seeded from config_.obs + environment
+  CounterIds ids_;
+  obs::MetricsRegistry::Histogram h_contact_bytes_;  // metrics tier only
   std::uint64_t delivered_ = 0;
   std::vector<PhotoId> delivered_ids_;
   std::vector<SimSample> samples_;

@@ -1,0 +1,23 @@
+#include "obs/obs.h"
+
+#include "util/env.h"
+
+namespace photodtn::obs {
+
+ObsConfig ObsConfig::from_env() {
+  ObsConfig cfg;
+  const bool on = env_int("PHOTODTN_OBS", 0) != 0;
+  cfg.metrics = on;
+  cfg.trace = on;
+  return cfg;
+}
+
+ObsConfig ObsConfig::merged_with_env() const {
+  const ObsConfig env = from_env();
+  ObsConfig out = *this;
+  out.metrics = out.metrics || env.metrics;
+  out.trace = out.trace || env.trace;
+  return out;
+}
+
+}  // namespace photodtn::obs

@@ -1,0 +1,89 @@
+// Observability bundle: one MetricsRegistry + one TraceRecorder per
+// simulation run, switched by ObsConfig.
+//
+// Cost tiers:
+//   * Always-on: the simulator's own counters (SimCounters) live on the
+//     registry unconditionally — a handle-indexed add costs what the old
+//     struct increment cost, and golden outputs depend on them.
+//   * PHOTODTN_OBS=1 (or ObsConfig::metrics): scheme/selection metrics,
+//     histograms, and the metrics JSON sink. Disabled cost: one branch per
+//     instrumentation site.
+//   * ObsConfig::trace (implied by a --trace-out sink): simulation-time
+//     span/instant events. Additionally compiled out entirely when the
+//     build sets PHOTODTN_OBS_SPANS=0 (cmake -DPHOTODTN_OBS_SPANS=OFF).
+#pragma once
+
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+
+namespace photodtn::obs {
+
+struct ObsConfig {
+  bool metrics = false;  // scheme/selection metrics + metrics JSON sink
+  bool trace = false;    // simulation-time trace events
+
+  /// PHOTODTN_OBS=1 turns metrics AND tracing on; unset/0 leaves both off.
+  static ObsConfig from_env();
+
+  /// This config with the environment switch OR-ed in (env can enable,
+  /// never disable — explicit sinks stay wired regardless of PHOTODTN_OBS).
+  ObsConfig merged_with_env() const;
+};
+
+/// What a run hands back: a metrics snapshot (empty when metrics were off)
+/// and the deterministically merged trace events (empty when tracing off).
+struct ObsReport {
+  MetricsSnapshot metrics;
+  std::vector<TraceEvent> trace_events;
+};
+
+class Obs {
+ public:
+  Obs() = default;
+  explicit Obs(ObsConfig cfg) : cfg_(cfg) {}
+
+  bool metrics_on() const noexcept { return cfg_.metrics; }
+  bool trace_on() const noexcept { return cfg_.trace; }
+
+  MetricsRegistry& registry() noexcept { return registry_; }
+  const MetricsRegistry& registry() const noexcept { return registry_; }
+  TraceRecorder& trace() noexcept { return trace_; }
+  const TraceRecorder& trace() const noexcept { return trace_; }
+
+  void audit() const {
+    registry_.audit();
+    trace_.audit();
+  }
+
+ private:
+  ObsConfig cfg_;
+  MetricsRegistry registry_;
+  TraceRecorder trace_;
+};
+
+}  // namespace photodtn::obs
+
+// Compile-time span tier: PHOTODTN_OBS_SPANS=0 strips every trace-emission
+// site to a no-op (the runtime metrics tier is unaffected).
+#ifndef PHOTODTN_OBS_SPANS
+#define PHOTODTN_OBS_SPANS 1
+#endif
+
+/// Emits a trace event when `obs_ptr` is non-null and tracing is on:
+///   PHOTODTN_OBS_TRACE(ctx.obs(), instant("capture", "photo", t, node, {...}));
+#if PHOTODTN_OBS_SPANS
+#define PHOTODTN_OBS_TRACE(obs_ptr, call)                          \
+  do {                                                             \
+    ::photodtn::obs::Obs* photodtn_obs_trace_o_ = (obs_ptr);       \
+    if (photodtn_obs_trace_o_ != nullptr &&                        \
+        photodtn_obs_trace_o_->trace_on()) {                       \
+      photodtn_obs_trace_o_->trace().call;                         \
+    }                                                              \
+  } while (0)
+#else
+#define PHOTODTN_OBS_TRACE(obs_ptr, call) \
+  do {                                    \
+  } while (0)
+#endif

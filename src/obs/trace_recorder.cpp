@@ -1,0 +1,133 @@
+#include "obs/trace_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace photodtn::obs {
+
+namespace {
+std::atomic<std::uint64_t> g_next_recorder_serial{1};
+}  // namespace
+
+TraceRecorder::TraceRecorder()
+    : serial_(g_next_recorder_serial.fetch_add(1, std::memory_order_relaxed)) {}
+
+TraceRecorder::Buffer& TraceRecorder::local() {
+  // One cached (recorder, buffer) pair per thread: the common case — a
+  // simulation run recording from one or a few pool threads — hits the
+  // cache; alternating between recorders just registers an extra buffer,
+  // which merged() folds in like any other.
+  struct Cache {
+    const TraceRecorder* rec = nullptr;
+    std::uint64_t serial = 0;
+    Buffer* buf = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.rec == this && cache.serial == serial_) return *cache.buf;
+  std::lock_guard<std::mutex> lk(mu_);
+  buffers_.push_back(std::make_unique<Buffer>());
+  Buffer* buf = buffers_.back().get();
+  cache = Cache{this, serial_, buf};
+  return *buf;
+}
+
+void TraceRecorder::push(TraceEvent ev, std::initializer_list<TraceArg> args) {
+  PHOTODTN_DCHECK_MSG(args.size() <= TraceEvent::kMaxArgs,
+                      "too many trace event args");
+  ev.nargs = 0;
+  for (const TraceArg& a : args) {
+    if (ev.nargs >= TraceEvent::kMaxArgs) break;
+    ev.args[ev.nargs++] = a;
+  }
+  ev.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  local().events.push_back(ev);
+}
+
+void TraceRecorder::complete(const char* name, const char* cat, double ts_s,
+                             double dur_s, std::int32_t tid,
+                             std::initializer_list<TraceArg> args) {
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kComplete;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ts_s = ts_s;
+  ev.dur_s = dur_s;
+  ev.tid = tid;
+  push(ev, args);
+}
+
+void TraceRecorder::instant(const char* name, const char* cat, double ts_s,
+                            std::int32_t tid, std::initializer_list<TraceArg> args) {
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kInstant;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ts_s = ts_s;
+  ev.tid = tid;
+  push(ev, args);
+}
+
+void TraceRecorder::counter(const char* name, double ts_s, double value) {
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kCounter;
+  ev.name = name;
+  ev.cat = "counter";
+  ev.ts_s = ts_s;
+  push(ev, {{"value", value}});
+}
+
+std::vector<TraceEvent> TraceRecorder::merged() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t total = 0;
+    for (const auto& b : buffers_) total += b->events.size();
+    out.reserve(total);
+    for (const auto& b : buffers_) {
+      out.insert(out.end(), b->events.begin(), b->events.end());
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& x, const TraceEvent& y) {
+    if (x.ts_s != y.ts_s) return x.ts_s < y.ts_s;
+    return x.seq < y.seq;
+  });
+  return out;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t total = 0;
+  for (const auto& b : buffers_) total += b->events.size();
+  return total;
+}
+
+void TraceRecorder::audit() const {
+  auto check = [](bool ok, const char* what) {
+    if (!ok) throw std::logic_error(std::string("TraceRecorder::audit: ") + what);
+  };
+  std::lock_guard<std::mutex> lk(mu_);
+  std::unordered_set<std::uint64_t> seqs;
+  for (const auto& b : buffers_) {
+    check(b != nullptr, "null buffer");
+    for (const TraceEvent& ev : b->events) {
+      check(ev.name != nullptr && ev.name[0] != '\0', "unnamed event");
+      check(ev.cat != nullptr, "null category");
+      check(std::isfinite(ev.ts_s), "non-finite timestamp");
+      check(std::isfinite(ev.dur_s) && ev.dur_s >= 0.0, "bad duration");
+      check(ev.phase == TraceEvent::Phase::kComplete || ev.dur_s == 0.0,
+            "duration on a non-span event");
+      check(ev.nargs <= TraceEvent::kMaxArgs, "arg count out of range");
+      for (std::uint32_t i = 0; i < ev.nargs; ++i) {
+        check(ev.args[i].first != nullptr && ev.args[i].first[0] != '\0',
+              "unnamed event arg");
+      }
+      check(seqs.insert(ev.seq).second, "duplicate sequence stamp");
+    }
+  }
+}
+
+}  // namespace photodtn::obs

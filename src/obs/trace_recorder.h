@@ -1,0 +1,99 @@
+// Deterministic span/instant recorder feeding the Chrome trace sink.
+//
+// Events are stamped with *simulation time* (seconds), never wall-clock —
+// the rule that keeps traces byte-identical across reruns and thread counts
+// (wall-clock perf data lives in the separate, non-golden wallPerf section;
+// see obs/chrome_trace.h and the banned-wallclock lint rule). Each recording
+// thread appends to its own buffer (registered once through a thread-local
+// cache keyed by the recorder's unique serial, so a recorder living at a
+// reused address never inherits a stale buffer); merged() interleaves the
+// buffers by (timestamp, global sequence stamp). The sequence stamp is a
+// relaxed atomic fetch-add: within one thread it preserves program order,
+// and in the deterministic pool regime (each chunk records only its own
+// work, chunk -> data mapping fixed by the caller) any cross-thread
+// interleaving difference is confined to identical-timestamp events from
+// independent chunks — which the simulator never emits, as all its events
+// come from the single event loop thread.
+//
+// Event names and categories are `const char*` and must point to storage
+// outliving the recorder (string literals in practice): recording must not
+// allocate.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace photodtn::obs {
+
+/// One numeric event argument (rendered into the Chrome "args" object).
+using TraceArg = std::pair<const char*, double>;
+
+struct TraceEvent {
+  enum class Phase : char {
+    kComplete = 'X',  // span: ts + dur
+    kInstant = 'i',
+    kCounter = 'C',
+  };
+  static constexpr std::size_t kMaxArgs = 4;
+
+  Phase phase = Phase::kInstant;
+  const char* name = "";
+  const char* cat = "";
+  double ts_s = 0.0;   // simulation seconds
+  double dur_s = 0.0;  // kComplete only
+  std::int32_t tid = 0;
+  std::uint64_t seq = 0;  // global emission stamp; merge tie-break
+  std::uint32_t nargs = 0;
+  std::array<TraceArg, kMaxArgs> args{};
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// A span covering [ts_s, ts_s + dur_s] of simulation time.
+  void complete(const char* name, const char* cat, double ts_s, double dur_s,
+                std::int32_t tid, std::initializer_list<TraceArg> args = {});
+
+  /// A point event at ts_s.
+  void instant(const char* name, const char* cat, double ts_s, std::int32_t tid,
+               std::initializer_list<TraceArg> args = {});
+
+  /// A counter track sample ("C" phase) at ts_s.
+  void counter(const char* name, double ts_s, double value);
+
+  /// All events from every thread's buffer, sorted by (ts_s, seq).
+  std::vector<TraceEvent> merged() const;
+
+  std::size_t event_count() const;
+
+  /// Deep invariant check (audit builds / tests): buffers non-null, every
+  /// event has a name, finite non-negative duration, args within kMaxArgs,
+  /// and sequence stamps unique across buffers. Throws std::logic_error on
+  /// violation.
+  void audit() const;
+
+ private:
+  struct Buffer {
+    std::vector<TraceEvent> events;
+  };
+
+  Buffer& local();
+  void push(TraceEvent ev, std::initializer_list<TraceArg> args);
+
+  const std::uint64_t serial_;  // distinguishes recorders at reused addresses
+  std::atomic<std::uint64_t> next_seq_{0};
+  mutable std::mutex mu_;  // guards buffers_ registration + merged()/audit()
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+}  // namespace photodtn::obs

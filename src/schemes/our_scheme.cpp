@@ -32,6 +32,50 @@ std::unique_ptr<OurScheme> OurScheme::no_metadata() {
   return std::make_unique<OurScheme>(cfg);
 }
 
+void OurScheme::init(SimContext& ctx) {
+  hooks_ = ObsHooks{};
+  last_totals_ = SelectionStats{};
+  obs::Obs* o = ctx.obs();
+  if (o == nullptr || !o->metrics_on()) return;
+  hooks_.obs = o;
+  obs::MetricsRegistry& reg = o->registry();
+  hooks_.gossip_records = reg.counter("scheme.gossip_records");
+  hooks_.gossip_accepted = reg.counter("scheme.gossip_accepted");
+  hooks_.cache_invalidations = reg.counter("scheme.cache_invalidations");
+  hooks_.cache_updates = reg.counter("scheme.cache_updates");
+  hooks_.engine_syncs = reg.counter("scheme.engine_syncs");
+  hooks_.engine_loads = reg.counter("scheme.engine_loads");
+  hooks_.engine_unloads = reg.counter("scheme.engine_unloads");
+  hooks_.poi_rebuilds = reg.counter("scheme.poi_rebuilds");
+  hooks_.gain_evals = reg.counter("selection.gain_evals");
+  hooks_.reevals = reg.counter("selection.reevals");
+  hooks_.commits = reg.counter("selection.commits");
+  hooks_.pool_size =
+      reg.histogram("selection.pool_size", obs::MetricsRegistry::exp_bounds(1, 2.0, 12));
+  hooks_.gossip_per_contact = reg.histogram(
+      "scheme.gossip_records_per_contact", obs::MetricsRegistry::exp_bounds(1, 4.0, 10));
+}
+
+void OurScheme::record_engine_rebuilds(NodeId viewer) {
+  if (hooks_.obs == nullptr) return;
+  const auto it = engines_.find(viewer);
+  if (it == engines_.end()) return;
+  EngineState& st = it->second;
+  const std::uint64_t rb = st.env.rebuild_count();
+  hooks_.obs->registry().add(hooks_.poi_rebuilds, rb - st.last_rebuilds);
+  st.last_rebuilds = rb;
+}
+
+void OurScheme::record_selection_delta() {
+  if (hooks_.obs == nullptr) return;
+  const SelectionStats& t = selector_.totals();
+  obs::MetricsRegistry& reg = hooks_.obs->registry();
+  reg.add(hooks_.gain_evals, t.gain_evals - last_totals_.gain_evals);
+  reg.add(hooks_.reevals, t.reevals - last_totals_.reevals);
+  reg.add(hooks_.commits, t.commits - last_totals_.commits);
+  last_totals_ = t;
+}
+
 MetadataCache& OurScheme::cache(NodeId node) {
   auto it = caches_.find(node);
   if (it == caches_.end()) it = caches_.emplace(node, MetadataCache{cfg_.p_thld}).first;
@@ -105,10 +149,15 @@ void OurScheme::exchange_metadata(SimContext& ctx, NodeId a, NodeId b, double no
   // drop entries eq. (1) invalidates. The parties' own fresh snapshots are
   // exchanged after the reallocation (on_contact), so caches reflect
   // post-contact collections.
-  if (b_to_a) ca.merge_from(cb, a);
-  if (a_to_b) cb.merge_from(ca, b);
-  ca.prune(now);
-  cb.prune(now);
+  std::size_t accepted = 0;
+  if (b_to_a) accepted += ca.merge_from(cb, a);
+  if (a_to_b) accepted += cb.merge_from(ca, b);
+  const std::size_t invalidated = ca.prune(now) + cb.prune(now);
+  if (hooks_.obs != nullptr) {
+    obs::MetricsRegistry& reg = hooks_.obs->registry();
+    reg.add(hooks_.gossip_accepted, accepted);
+    reg.add(hooks_.cache_invalidations, invalidated);
+  }
 }
 
 SelectionEnvironment& OurScheme::sync_engine(SimContext& ctx, NodeId viewer,
@@ -117,6 +166,7 @@ SelectionEnvironment& OurScheme::sync_engine(SimContext& ctx, NodeId viewer,
   auto it = engines_.find(viewer);
   if (it == engines_.end()) it = engines_.try_emplace(viewer, ctx.model()).first;
   EngineState& st = it->second;
+  if (hooks_.obs != nullptr) hooks_.obs->registry().add(hooks_.engine_syncs);
 
   // Desired contents: the viewer's validly cached collections, minus the
   // contact parties (they are live in the reallocation, not environment).
@@ -133,6 +183,7 @@ SelectionEnvironment& OurScheme::sync_engine(SimContext& ctx, NodeId viewer,
   // Unload collections that disappeared (pruned/excluded) or were restamped
   // by a fresher snapshot; keep the ones whose revision still matches — their
   // per-PoI factors are exactly the cached ones.
+  std::uint64_t unloads = 0;
   for (auto lit = st.loaded_revs.begin(); lit != st.loaded_revs.end();) {
     const auto wit = want.find(lit->first);
     if (wit != want.end() && wit->second->revision == lit->second) {
@@ -141,6 +192,7 @@ SelectionEnvironment& OurScheme::sync_engine(SimContext& ctx, NodeId viewer,
     } else {
       st.env.remove_collection(lit->first);
       lit = st.loaded_revs.erase(lit);
+      ++unloads;
     }
   }
 
@@ -153,6 +205,7 @@ SelectionEnvironment& OurScheme::sync_engine(SimContext& ctx, NodeId viewer,
             [](const MetadataEntry* x, const MetadataEntry* y) {
               return x->owner < y->owner;
             });
+  std::uint64_t loads = 0;
   for (const MetadataEntry* e : fresh) {
     NodeCollection nc;
     nc.node = e->owner;
@@ -164,6 +217,12 @@ SelectionEnvironment& OurScheme::sync_engine(SimContext& ctx, NodeId viewer,
     if (nc.footprints.empty() || nc.delivery_prob <= 0.0) continue;
     st.env.add_collection(nc);
     st.loaded_revs.emplace(e->owner, e->revision);
+    ++loads;
+  }
+  if (hooks_.obs != nullptr) {
+    obs::MetricsRegistry& reg = hooks_.obs->registry();
+    reg.add(hooks_.engine_unloads, unloads);
+    reg.add(hooks_.engine_loads, loads);
   }
   PHOTODTN_AUDIT(st.env.audit());
   return st.env;
@@ -176,13 +235,18 @@ void OurScheme::on_contact(SimContext& ctx, ContactSession& session) {
     // prices it, charge one record per photo in the snapshots and gossiped
     // cache entries before any payload moves.
     if (const std::uint64_t per_photo = ctx.config().metadata_bytes_per_photo;
-        per_photo > 0) {
+        per_photo > 0 || hooks_.obs != nullptr) {
       std::uint64_t records = ctx.node(session.a()).store().size() +
                               ctx.node(session.b()).store().size();
       for (const NodeId n : {session.a(), session.b()})
         for (const auto& [owner, entry] : cache(n).entries())
           records += entry.photos.size();
-      session.consume(records * per_photo);
+      if (per_photo > 0) session.consume(records * per_photo);
+      if (hooks_.obs != nullptr) {
+        obs::MetricsRegistry& reg = hooks_.obs->registry();
+        reg.add(hooks_.gossip_records, records);
+        reg.record(hooks_.gossip_per_contact, records);
+      }
     }
     // A direction's gossip is lost when the fault layer dropped it — or when
     // the link died while the metadata itself was on the wire.
@@ -203,11 +267,15 @@ void OurScheme::on_contact(SimContext& ctx, ContactSession& session) {
     // A cut link (possibly severed mid-payload above) or a lost gossip
     // direction forfeits the closing snapshot too — the holder keeps
     // whatever stale view it had.
+    std::size_t updates = 0;
     if (!session.severed() && !session.gossip_lost_from(session.b()))
-      cache(session.a()).update(snapshot(ctx, session.b(), now));
+      updates += cache(session.a()).update(snapshot(ctx, session.b(), now)) ? 1 : 0;
     if (!session.severed() && !session.gossip_lost_from(session.a()))
-      cache(session.b()).update(snapshot(ctx, session.a(), now));
+      updates += cache(session.b()).update(snapshot(ctx, session.a(), now)) ? 1 : 0;
+    if (hooks_.obs != nullptr)
+      hooks_.obs->registry().add(hooks_.cache_updates, updates);
   }
+  record_selection_delta();
 }
 
 void OurScheme::contact_with_center(SimContext& ctx, ContactSession& session) {
@@ -233,6 +301,8 @@ void OurScheme::contact_with_center(SimContext& ctx, ContactSession& session) {
   // Phase 1 — the center (p = 1) selects which of the participant's photos
   // are worth delivering, against its own collection plus cached metadata.
   const std::vector<PhotoMeta> pool = sorted_photos(np.store());
+  if (hooks_.obs != nullptr)
+    hooks_.obs->registry().record(hooks_.pool_size, pool.size());
   std::vector<const PhotoFootprint*> delivered;
   {
     GreedyPhase phase(senv, 1.0);
@@ -261,6 +331,12 @@ void OurScheme::contact_with_center(SimContext& ctx, ContactSession& session) {
       if (!keep_set.contains(p.id)) ctx.drop_photo(part, p.id);
   }
   senv.remove_collection(kCommandCenter);
+  record_engine_rebuilds(part);
+  PHOTODTN_OBS_TRACE(
+      ctx.obs(),
+      instant("select", "selection", now, static_cast<std::int32_t>(part),
+              {{"pool", static_cast<double>(pool.size())},
+               {"delivered", static_cast<double>(delivered.size())}}));
 }
 
 void OurScheme::contact_between_participants(SimContext& ctx, ContactSession& session) {
@@ -275,11 +351,21 @@ void OurScheme::contact_between_participants(SimContext& ctx, ContactSession& se
   const double pb = nb.delivery_prob(now);
   const std::vector<PhotoMeta> pool = union_pool(na.store(), nb.store());
   if (pool.empty()) return;
+  if (hooks_.obs != nullptr)
+    hooks_.obs->registry().record(hooks_.pool_size, pool.size());
   SelectionEnvironment& env = sync_engine(ctx, a, a, b, now);
 
   const ReallocationPlan plan = selector_.reallocate(
       model, pool, a, pa, na.store().capacity_bytes(), b, pb,
       nb.store().capacity_bytes(), env);
+  record_engine_rebuilds(a);
+  PHOTODTN_OBS_TRACE(
+      ctx.obs(),
+      instant("reallocate", "selection", now, static_cast<std::int32_t>(a),
+              {{"pool", static_cast<double>(pool.size())},
+               {"peer", static_cast<double>(b)},
+               {"first_target", static_cast<double>(plan.first_target.size())},
+               {"second_target", static_cast<double>(plan.second_target.size())}}));
 
   std::unordered_map<PhotoId, PhotoMeta> by_id;
   by_id.reserve(pool.size());

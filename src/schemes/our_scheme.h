@@ -24,6 +24,7 @@
 
 #include "dtn/scheme.h"
 #include "dtn/simulator.h"
+#include "obs/obs.h"
 #include "selection/greedy_selector.h"
 #include "selection/metadata_cache.h"
 #include "selection/selection_env.h"
@@ -49,6 +50,11 @@ class OurScheme : public Scheme {
   std::string name() const override {
     return cfg_.metadata_enabled ? "OurScheme" : "NoMetadata";
   }
+
+  /// Registers the scheme's metric handles on the run's registry when the
+  /// context carries one with metrics enabled; otherwise instrumentation
+  /// stays a null-pointer test per contact.
+  void init(SimContext& ctx) override;
 
   void on_photo_taken(SimContext& ctx, NodeId node, const PhotoMeta& photo) override;
   void on_contact(SimContext& ctx, ContactSession& session) override;
@@ -96,12 +102,31 @@ class OurScheme : public Scheme {
     explicit EngineState(const CoverageModel& model) : env(model) {}
     SelectionEnvironment env;
     std::unordered_map<NodeId, std::uint64_t> loaded_revs;
+    std::uint64_t last_rebuilds = 0;  // env.rebuild_count() at last reading
   };
+
+  /// Metric handles, registered by init() when metrics are on (obs is the
+  /// on/off switch: nullptr = disabled, one branch per site).
+  struct ObsHooks {
+    obs::Obs* obs = nullptr;
+    obs::MetricsRegistry::Counter gossip_records, gossip_accepted,
+        cache_invalidations, cache_updates, engine_syncs, engine_loads,
+        engine_unloads, poi_rebuilds, gain_evals, reevals, commits;
+    obs::MetricsRegistry::Histogram pool_size, gossip_per_contact;
+  };
+
+  /// Accounts rebuilds the viewer's engine performed since the last reading
+  /// (sync reconciliation + the selection queries it served).
+  void record_engine_rebuilds(NodeId viewer);
+  /// Accounts selector work since the last reading (diff of totals()).
+  void record_selection_delta();
 
   OurSchemeConfig cfg_;
   GreedySelector selector_;
   std::unordered_map<NodeId, MetadataCache> caches_;
   std::unordered_map<NodeId, EngineState> engines_;
+  ObsHooks hooks_;
+  SelectionStats last_totals_;
 };
 
 }  // namespace photodtn

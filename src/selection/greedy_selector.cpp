@@ -43,8 +43,13 @@ std::vector<PhotoId> GreedySelector::select(const CoverageModel& model,
   std::vector<const PhotoFootprint*> fps;
   model.footprints_cached(pool, fps);
   stats_ = SelectionStats{};
-  return params_.lazy ? select_lazy(pool, fps, capacity_bytes, phase)
-                      : select_plain(pool, fps, capacity_bytes, phase);
+  std::vector<PhotoId> chosen =
+      params_.lazy ? select_lazy(pool, fps, capacity_bytes, phase)
+                   : select_plain(pool, fps, capacity_bytes, phase);
+  totals_.gain_evals += stats_.gain_evals;
+  totals_.reevals += stats_.reevals;
+  totals_.commits += stats_.commits;
+  return chosen;
 }
 
 std::vector<PhotoId> GreedySelector::select_plain(

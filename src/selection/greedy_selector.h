@@ -113,6 +113,12 @@ class GreedySelector {
   /// not thread-safe — each simulation run owns its selector.
   const SelectionStats& last_stats() const noexcept { return stats_; }
 
+  /// Lifetime accumulation across every select() on this selector (both
+  /// phases of each reallocate). Consumers tracking per-contact work (the
+  /// selection.* metrics) diff successive readings instead of racing to
+  /// copy last_stats() before the next phase resets it.
+  const SelectionStats& totals() const noexcept { return totals_; }
+
  private:
   std::vector<PhotoId> select_plain(std::span<const PhotoMeta> pool,
                                     std::span<const PhotoFootprint* const> fps,
@@ -125,6 +131,7 @@ class GreedySelector {
 
   GreedyParams params_;
   mutable SelectionStats stats_;
+  mutable SelectionStats totals_;
 };
 
 }  // namespace photodtn

@@ -31,15 +31,18 @@ bool MetadataCache::is_valid(const MetadataEntry& entry, double now) const {
   return staleness_probability(entry.lambda, now - entry.observed_at) <= p_thld_;
 }
 
-void MetadataCache::prune(double now) {
+std::size_t MetadataCache::prune(double now) {
+  std::size_t removed = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (!is_valid(it->second, now)) {
       it = entries_.erase(it);
+      ++removed;
     } else {
       ++it;
     }
   }
   PHOTODTN_AUDIT(audit());
+  return removed;
 }
 
 std::vector<const MetadataEntry*> MetadataCache::valid_entries(double now) const {
@@ -59,12 +62,14 @@ const MetadataEntry* MetadataCache::find(NodeId owner) const {
   return it == entries_.end() ? nullptr : &it->second;
 }
 
-void MetadataCache::merge_from(const MetadataCache& other, NodeId self) {
+std::size_t MetadataCache::merge_from(const MetadataCache& other, NodeId self) {
+  std::size_t accepted = 0;
   for (const auto& [owner, entry] : other.entries_) {
     if (owner == self) continue;
-    update(entry);
+    if (update(entry)) ++accepted;
   }
   PHOTODTN_AUDIT(audit());
+  return accepted;
 }
 
 void MetadataCache::audit() const {

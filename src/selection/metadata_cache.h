@@ -57,8 +57,9 @@ class MetadataCache {
   bool is_valid(const MetadataEntry& entry, double now) const;
 
   /// Removes all invalid entries (the paper removes entries once they cross
-  /// the threshold).
-  void prune(double now);
+  /// the threshold). Returns how many were removed (cache invalidations —
+  /// feeds the scheme.cache_invalidations metric).
+  std::size_t prune(double now);
 
   /// All entries currently valid at `now` (does not prune).
   std::vector<const MetadataEntry*> valid_entries(double now) const;
@@ -75,7 +76,8 @@ class MetadataCache {
 
   /// Gossip: absorbs every entry of `other` that is fresher than ours.
   /// `self` is excluded — a node is the authority on its own collection.
-  void merge_from(const MetadataCache& other, NodeId self);
+  /// Returns how many entries were accepted (fresher than the cached copy).
+  std::size_t merge_from(const MetadataCache& other, NodeId self);
 
   std::size_t size() const noexcept { return entries_.size(); }
   const std::unordered_map<NodeId, MetadataEntry>& entries() const noexcept {

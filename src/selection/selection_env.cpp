@@ -379,6 +379,7 @@ bool SelectionEnvironment::remove_collection(NodeId node) {
 }
 
 void SelectionEnvironment::refresh(std::size_t poi) const {
+  ++rebuilds_;
   double miss = 1.0;
   std::vector<std::pair<double, const ArcSet*>> covers;
   covers.reserve(covers_[poi].size());

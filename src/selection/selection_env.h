@@ -153,6 +153,13 @@ class SelectionEnvironment {
   bool has_collection(NodeId node) const noexcept { return loaded_.contains(node); }
   std::size_t collection_count() const noexcept { return loaded_.size(); }
 
+  /// Lifetime count of lazy per-PoI rebuilds (refresh() calls): how much
+  /// cached state the dirty-marking actually recomputed. Deterministic —
+  /// rebuilds happen on first query of a dirty PoI, never on a pool worker
+  /// (gains_batch rebuilds serially before fanning out). Feeds the
+  /// scheme.poi_rebuilds metric.
+  std::uint64_t rebuild_count() const noexcept { return rebuilds_; }
+
   const CoverageModel& model() const noexcept { return *model_; }
 
   /// Per-PoI cached terms; dirty PoIs are rebuilt on access (lazily, so a
@@ -192,6 +199,7 @@ class SelectionEnvironment {
   mutable std::vector<double> pt_miss_;
   mutable std::vector<PiecewiseMiss> miss_;
   mutable std::vector<char> dirty_;
+  mutable std::uint64_t rebuilds_ = 0;
   std::unordered_map<NodeId, Loaded> loaded_;
 };
 

@@ -81,7 +81,10 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, ThreadPool* pool) {
     out.total_missed_contacts.add(static_cast<double>(r.counters.missed_contacts));
     out.total_node_crashes.add(static_cast<double>(r.counters.node_crashes));
     out.total_gossip_losses.add(static_cast<double>(r.counters.gossip_losses));
+    if (!r.obs.metrics.empty()) out.metrics.merge(r.obs.metrics);
   }
+  if (!results.front().obs.trace_events.empty())
+    out.trace_events = std::move(results.front().obs.trace_events);
   return out;
 }
 

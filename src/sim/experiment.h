@@ -56,6 +56,12 @@ struct ExperimentResult {
   RunningStats total_missed_contacts;
   RunningStats total_node_crashes;
   RunningStats total_gossip_losses;
+  // Observability payloads (empty unless the scenario enables obs —
+  // spec.scenario.sim.obs or PHOTODTN_OBS=1). Metrics are the per-run
+  // snapshots merged in seed order (integer-valued, so byte-identical for
+  // any pool size); trace_events are run 0's, the run a trace file depicts.
+  obs::MetricsSnapshot metrics;
+  std::vector<obs::TraceEvent> trace_events;
 };
 
 /// One full simulation run; exposed so tests can drive single runs.

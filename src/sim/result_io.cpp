@@ -32,6 +32,13 @@ void write_result(JsonWriter& w, const ExperimentResult& r) {
   w.kv("node_crashes_mean", r.total_node_crashes.mean());
   w.kv("gossip_losses_mean", r.total_gossip_losses.mean());
   w.end_object();
+  // Structured metrics block (obs runs only): merged per-run registry
+  // snapshots. Omitted entirely when obs was off, so existing golden
+  // comparison files are byte-identical with or without the obs layer.
+  if (!r.metrics.empty()) {
+    w.key("metrics");
+    r.metrics.write_json(w);
+  }
   w.end_object();
 }
 
@@ -59,6 +66,32 @@ bool write_comparison_json(const std::string& path,
   std::ofstream f(path);
   if (!f) return false;
   f << comparison_to_json(results) << '\n';
+  return static_cast<bool>(f);
+}
+
+std::string metrics_to_json(std::span<const ExperimentResult> results) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "photodtn-metrics/1");
+  w.key("results");
+  w.begin_array();
+  for (const ExperimentResult& r : results) {
+    w.begin_object();
+    w.kv("scheme", r.scheme);
+    w.key("metrics");
+    r.metrics.write_json(w);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool write_metrics_json(const std::string& path,
+                        std::span<const ExperimentResult> results) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << metrics_to_json(results) << '\n';
   return static_cast<bool>(f);
 }
 

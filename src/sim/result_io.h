@@ -21,4 +21,11 @@ std::string comparison_to_json(std::span<const ExperimentResult> results);
 bool write_comparison_json(const std::string& path,
                            std::span<const ExperimentResult> results);
 
+/// Metrics-only export: {"schema":"photodtn-metrics/1","results":[{scheme,
+/// metrics}...]} — one merged registry snapshot per scheme (empty object
+/// when a result carries none). The bench/CI pipeline reads this shape.
+std::string metrics_to_json(std::span<const ExperimentResult> results);
+bool write_metrics_json(const std::string& path,
+                        std::span<const ExperimentResult> results);
+
 }  // namespace photodtn

@@ -2,16 +2,18 @@
 
 #include <algorithm>
 
+#include "obs/wall_clock.h"
 #include "util/check.h"
 #include "util/env.h"
 
 namespace photodtn {
 
 ThreadPool::ThreadPool(std::size_t concurrency)
-    : concurrency_(std::max<std::size_t>(1, concurrency)) {
+    : concurrency_(std::max<std::size_t>(1, concurrency)),
+      lanes_(concurrency_) {
   workers_.reserve(concurrency_ - 1);
   for (std::size_t i = 0; i + 1 < concurrency_; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -33,7 +35,11 @@ ThreadPool& ThreadPool::shared() {
   return pool;
 }
 
-void ThreadPool::drain(Job& job) {
+void ThreadPool::drain(Job& job, LaneCounters& lane) {
+  // Wall-clock accounting is opt-in (PHOTODTN_OBS=1): scheduling remains
+  // identical either way, the readings feed only the non-golden wallPerf
+  // trace section (obs/chrome_trace.h).
+  const bool timed = obs::wall_metrics_enabled();
   for (;;) {
     std::size_t chunk;
     {
@@ -41,11 +47,26 @@ void ThreadPool::drain(Job& job) {
       if (job.next >= job.total) return;
       chunk = job.next++;
     }
+    const std::int64_t t0 = timed ? obs::wall_now_ns() : 0;
     std::exception_ptr err;
     try {
       (*job.fn)(chunk);
     } catch (...) {
       err = std::current_exception();
+    }
+    if (timed) {
+      const std::int64_t dt = obs::wall_now_ns() - t0;
+      const std::uint64_t ns = dt > 0 ? static_cast<std::uint64_t>(dt) : 0;
+      lane.chunks.fetch_add(1, std::memory_order_relaxed);
+      lane.busy_ns.fetch_add(ns, std::memory_order_relaxed);
+      std::size_t bucket = kTaskLatencyBoundsNs.size();
+      for (std::size_t i = 0; i < kTaskLatencyBoundsNs.size(); ++i) {
+        if (ns <= kTaskLatencyBoundsNs[i]) {
+          bucket = i;
+          break;
+        }
+      }
+      latency_counts_[bucket].fetch_add(1, std::memory_order_relaxed);
     }
     std::lock_guard<std::mutex> lk(job.mu);
     if (err && !job.error) job.error = err;
@@ -53,7 +74,23 @@ void ThreadPool::drain(Job& job) {
   }
 }
 
-void ThreadPool::worker_loop() {
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats out;
+  out.lanes.resize(lanes_.size());
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    out.lanes[i].chunks = lanes_[i].chunks.load(std::memory_order_relaxed);
+    out.lanes[i].busy_ns = lanes_[i].busy_ns.load(std::memory_order_relaxed);
+  }
+  out.task_latency_bounds_ns.assign(kTaskLatencyBoundsNs.begin(),
+                                    kTaskLatencyBoundsNs.end());
+  out.task_latency_counts.resize(latency_counts_.size());
+  for (std::size_t i = 0; i < latency_counts_.size(); ++i) {
+    out.task_latency_counts[i] = latency_counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void ThreadPool::worker_loop(std::size_t lane) {
   for (;;) {
     std::shared_ptr<Job> job;
     {
@@ -63,7 +100,7 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    drain(*job);
+    drain(*job, lanes_[lane]);
   }
 }
 
@@ -90,7 +127,7 @@ void ThreadPool::parallel_chunks(std::size_t chunks,
   } else {
     queue_cv_.notify_all();
   }
-  drain(*job);  // the caller is always one of the executors
+  drain(*job, lanes_.back());  // the caller is always one of the executors
   std::unique_lock<std::mutex> lk(job->mu);
   job->all_done.wait(lk, [&] { return job->done == job->total; });
   if (job->error) std::rethrow_exception(job->error);

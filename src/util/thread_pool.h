@@ -20,8 +20,11 @@
 // every worker is busy with long outer tasks).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -32,6 +35,24 @@
 #include <vector>
 
 namespace photodtn {
+
+/// Wall-clock execution stats, collected only when PHOTODTN_OBS=1 (see
+/// obs/wall_clock.h) — otherwise every field stays zero and the hot loop
+/// pays one predictable branch per chunk. Non-deterministic by nature:
+/// surfaced only through the non-golden wallPerf trace section.
+struct ThreadPoolStats {
+  struct Lane {
+    std::uint64_t chunks = 0;   // chunks this lane executed
+    std::uint64_t busy_ns = 0;  // wall time spent inside chunk bodies
+  };
+  /// One entry per dedicated worker, then one aggregating every calling
+  /// thread (the caller always participates in parallel_chunks).
+  std::vector<Lane> lanes;
+  /// Per-chunk wall-latency histogram shared by all lanes; counts has one
+  /// trailing overflow bucket.
+  std::vector<std::uint64_t> task_latency_bounds_ns;
+  std::vector<std::uint64_t> task_latency_counts;
+};
 
 class ThreadPool {
  public:
@@ -78,6 +99,11 @@ class ThreadPool {
     return acc;
   }
 
+  /// Snapshot of the wall-clock execution stats (all-zero unless
+  /// PHOTODTN_OBS=1). Excludes the inline fast path (single-chunk or
+  /// single-thread jobs), which never enters the queue.
+  ThreadPoolStats stats() const;
+
  private:
   /// One parallel_chunks invocation: workers and the caller race on `next`
   /// (claiming chunks), and the caller waits until `done` reaches `total`.
@@ -91,11 +117,26 @@ class ThreadPool {
     std::condition_variable all_done;
   };
 
-  void worker_loop();
-  /// Claims and runs chunks of `job` until none are left.
-  static void drain(Job& job);
+  /// Per-lane wall-clock counters (relaxed atomics: each is a monotone sum,
+  /// read only by stats()).
+  struct LaneCounters {
+    std::atomic<std::uint64_t> chunks{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+  };
+  static constexpr std::array<std::uint64_t, 7> kTaskLatencyBoundsNs = {
+      1'000,         10'000,        100'000,      1'000'000,
+      10'000'000,    100'000'000,   1'000'000'000};
+
+  void worker_loop(std::size_t lane);
+  /// Claims and runs chunks of `job` until none are left, accounting the
+  /// work to `lane` when wall metrics are enabled.
+  void drain(Job& job, LaneCounters& lane);
 
   std::size_t concurrency_;
+  /// concurrency_ entries: one per worker plus the shared caller lane.
+  std::vector<LaneCounters> lanes_;
+  std::array<std::atomic<std::uint64_t>, kTaskLatencyBoundsNs.size() + 1>
+      latency_counts_{};
   std::vector<std::thread> workers_;
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

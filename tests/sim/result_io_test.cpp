@@ -51,6 +51,40 @@ TEST(ResultIo, ComparisonWrapsResultsArray) {
   EXPECT_EQ(count, 2u);
 }
 
+TEST(ResultIo, MetricsBlockAbsentWhenObsOff) {
+  // An obs-off run must serialize without any "metrics" key so golden
+  // comparison files are unchanged by the obs layer's existence.
+  const std::string json = experiment_result_to_json(tiny_result());
+  EXPECT_EQ(json.find("\"metrics\""), std::string::npos);
+}
+
+TEST(ResultIo, MetricsBlockRoundTrip) {
+  ExperimentResult r = tiny_result();
+  // Empty-but-present snapshot (runs counted, nothing recorded): the block
+  // appears with empty sections.
+  r.metrics.runs = 1;
+  std::string json = experiment_result_to_json(r);
+  EXPECT_NE(json.find("\"metrics\":{\"runs\":1,\"counters\":{}"), std::string::npos);
+
+  // Populated snapshot: counters, gauges, and a histogram all serialize.
+  obs::MetricsRegistry reg;
+  reg.add(reg.counter("sim.contacts"), 9);
+  reg.set(reg.gauge("pool.load"), 0.5);
+  reg.record(reg.histogram("selection.pool_size", {2, 8}), 3);
+  r.metrics = reg.snapshot();
+  json = experiment_result_to_json(r);
+  for (const char* field :
+       {"\"metrics\":", "\"sim.contacts\":9", "\"pool.load\":0.5",
+        "\"selection.pool_size\":", "\"bounds\":[2,8]", "\"counts\":[0,1,0]"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+  // The metrics-only export wraps the same block under the schema tag.
+  const std::vector<ExperimentResult> results{r};
+  const std::string metrics_json = metrics_to_json(results);
+  EXPECT_EQ(metrics_json.rfind("{\"schema\":\"photodtn-metrics/1\"", 0), 0u);
+  EXPECT_NE(metrics_json.find("\"sim.contacts\":9"), std::string::npos);
+}
+
 TEST(ResultIo, WritesFile) {
   const ExperimentResult r = tiny_result();
   const std::string path = ::testing::TempDir() + "/photodtn_results.json";

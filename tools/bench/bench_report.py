@@ -23,6 +23,19 @@ stable, diff-friendly JSON artifacts at the repo root:
                           revisions conflated the two, so a 6% *improvement*
                           read as if it were being tested against the
                           overhead budget.
+  BENCH_obs.json        - the observability pair: the obs-on e2e run vs the
+                          clean one (obs_enabled_vs_clean, advisory — the
+                          enabled path records every metric and span), and
+                          the *disabled* cost, which is the gate: the clean
+                          e2e median (every obs site a branch test) vs a
+                          prior-commit clean median, target < 2% clamped
+                          overhead. The committed-file comparison is
+                          confounded by cross-session machine drift;
+                          --prior-binary (a bench_micro built from the
+                          previous commit, e.g. in a git worktree) measures
+                          the prior clean run in the *same session*, and
+                          when given that same-session number drives the
+                          gate.
 
 Every run also appends one line to BENCH_history.jsonl (git sha, UTC date,
 all medians, all derived numbers) — an append-only perf trajectory that
@@ -53,9 +66,10 @@ SELECTION_FILTER = (
     "BM_SelectionEnvBuild|BM_SelectionEnvReconcile|BM_GreedySelectEnv"
 )
 E2E_EXTRA_FILTER = "BM_ExperimentSweep"
-FAULTS_FILTER = "BM_OurSchemeE2E(_Faults)?$"
+FAULTS_FILTER = "BM_OurSchemeE2E(_Faults|_Obs)?$"
 E2E_CLEAN = "BM_OurSchemeE2E"
 E2E_FAULTED = "BM_OurSchemeE2E_Faults"
+E2E_OBS = "BM_OurSchemeE2E_Obs"
 CELF_BENCH = "BM_GreedyGainCelf/250/256"
 # Fault-layer overhead on a clean run (new clean median vs the previously
 # committed one): tracked, target < 5%. The gate checks the clamped
@@ -63,6 +77,10 @@ CELF_BENCH = "BM_GreedyGainCelf/250/256"
 # numbers and CI runners differ in load, so --check reports but does not
 # fail on it.
 FAULT_OVERHEAD_TARGET = 0.05
+# Obs-disabled overhead budget: the clean e2e run (obs off, every record
+# site reduced to a null/branch test) vs the previously committed clean
+# median. Advisory under --check for the same runner-noise reason.
+OBS_OVERHEAD_TARGET = 0.02
 
 # The tentpole target: the production gain sweep (batched SoA kernels +
 # bucket-LUT segment lookup) vs the legacy per-segment scan at 64 PoIs /
@@ -137,6 +155,29 @@ def median_ns_by_name(raw: dict) -> dict:
     return out
 
 
+def same_session_clean_delta(
+    current: Path, prior: Path, repetitions: int, pairs: int = 3
+) -> float | None:
+    """Signed clean-e2e drift of `current` vs `prior`, both run now.
+
+    The binaries alternate (current, prior, current, prior, ...) so a load
+    spike hits both sides, and each side is summarized by the *minimum* of
+    its per-run medians: on a shared container noise only ever adds time,
+    so the min is the estimate least contaminated by other tenants.
+    """
+    cur_meds, pri_meds = [], []
+    for _ in range(pairs):
+        for binary, meds in ((current, cur_meds), (prior, pri_meds)):
+            entry = median_ns_by_name(
+                run_bench(binary, f"{E2E_CLEAN}$", repetitions)
+            ).get(E2E_CLEAN)
+            if entry:
+                meds.append(entry["median_ns"])
+    if not cur_meds or not pri_meds or min(pri_meds) <= 0:
+        return None
+    return min(cur_meds) / min(pri_meds) - 1.0
+
+
 def write_report(path: Path, payload: dict) -> None:
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path}")
@@ -170,6 +211,15 @@ def append_history(out_dir: Path, sha: str, reports: dict) -> None:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bench-binary", required=True, type=Path)
+    parser.add_argument(
+        "--prior-binary",
+        type=Path,
+        default=None,
+        help="bench_micro built from the previous commit; when given, the "
+        "obs-disabled overhead gate compares against its clean e2e run "
+        "measured in this session instead of the committed (cross-session, "
+        "drift-confounded) BENCH_e2e.json median",
+    )
     parser.add_argument("--out-dir", type=Path, default=Path("."))
     parser.add_argument("--repetitions", type=int, default=5)
     parser.add_argument(
@@ -243,14 +293,25 @@ def main() -> int:
         else None
     )
     # Signed drift of this commit's clean run vs the committed snapshot;
-    # the overhead gate only looks at slowdowns (clamped at zero), so an
-    # improvement can never be mistaken for budget consumption.
+    # the overhead gates only look at slowdowns (clamped at zero), so an
+    # improvement can never be mistaken for budget consumption. The
+    # committed snapshot was recorded in an earlier session, so this number
+    # folds in machine drift; a --prior-binary run happens in *this*
+    # session and is immune to it — when present it drives both gates.
     clean_delta = (
         clean["median_ns"] / prior_clean_ns - 1.0
         if clean and prior_clean_ns
         else None
     )
-    clean_overhead = max(0.0, clean_delta) if clean_delta is not None else None
+    same_session_delta = None
+    if args.prior_binary is not None:
+        if not args.prior_binary.exists():
+            raise SystemExit(f"prior binary not found: {args.prior_binary}")
+        same_session_delta = same_session_clean_delta(
+            args.bench_binary, args.prior_binary, args.repetitions
+        )
+    gate_delta = same_session_delta if same_session_delta is not None else clean_delta
+    gate_overhead = max(0.0, gate_delta) if gate_delta is not None else None
     faults_report = {
         "schema": "photodtn-bench/1",
         "git_sha": sha,
@@ -258,13 +319,45 @@ def main() -> int:
         "derived": {
             "faulted_vs_clean": faulted_vs_clean,
             "clean_delta_vs_prior": clean_delta,
-            "clean_overhead_vs_prior": clean_overhead,
+            "clean_delta_same_session": same_session_delta,
+            "clean_overhead_vs_prior": gate_overhead,
             "overhead_target": FAULT_OVERHEAD_TARGET,
-            "meets_overhead_target": clean_overhead is not None
-            and clean_overhead < FAULT_OVERHEAD_TARGET,
+            "meets_overhead_target": gate_overhead is not None
+            and gate_overhead < FAULT_OVERHEAD_TARGET,
         },
     }
     write_report(args.out_dir / "BENCH_faults.json", faults_report)
+
+    # Observability pair: what the obs layer costs when it is *on* (advisory
+    # — the enabled path does real recording work), and when it is *off*
+    # (the gate: the clean run vs a prior-commit clean run is exactly the
+    # disabled-obs residue, since obs-off leaves one branch per site). A
+    # --prior-binary measurement happens in this session on this machine, so
+    # it is immune to the container drift that pollutes the committed-file
+    # comparison; prefer it for the gate when present.
+    obs_on = e2e_all.get(E2E_OBS)
+    obs_enabled_vs_clean = (
+        obs_on["median_ns"] / clean["median_ns"]
+        if clean and obs_on and clean["median_ns"] > 0
+        else None
+    )
+    obs_report = {
+        "schema": "photodtn-bench/1",
+        "git_sha": sha,
+        "benchmarks": {
+            k: v for k, v in e2e_all.items() if k in (E2E_CLEAN, E2E_OBS)
+        },
+        "derived": {
+            "obs_enabled_vs_clean": obs_enabled_vs_clean,
+            "obs_disabled_delta_vs_prior": clean_delta,
+            "obs_disabled_delta_same_session": same_session_delta,
+            "obs_disabled_overhead": gate_overhead,
+            "obs_overhead_target": OBS_OVERHEAD_TARGET,
+            "meets_obs_overhead_target": gate_overhead is not None
+            and gate_overhead < OBS_OVERHEAD_TARGET,
+        },
+    }
+    write_report(args.out_dir / "BENCH_obs.json", obs_report)
 
     append_history(
         args.out_dir,
@@ -273,6 +366,7 @@ def main() -> int:
             "selection": selection_report,
             "e2e": e2e_report,
             "faults": faults_report,
+            "obs": obs_report,
         },
     )
 
@@ -288,6 +382,14 @@ def main() -> int:
         print(f"clean e2e drift vs prior commit: {100.0 * clean_delta:+.1f}% "
               f"(overhead gate < {100.0 * FAULT_OVERHEAD_TARGET:.0f}% "
               f"on slowdowns only)")
+    if obs_enabled_vs_clean is not None:
+        print(f"obs-enabled e2e vs clean: {obs_enabled_vs_clean:.3f}x "
+              f"(obs-disabled gate < {100.0 * OBS_OVERHEAD_TARGET:.0f}% "
+              f"drift, advisory)")
+    if same_session_delta is not None:
+        print(f"obs-disabled drift vs prior binary (same session): "
+              f"{100.0 * same_session_delta:+.1f}% "
+              f"(gate < {100.0 * OBS_OVERHEAD_TARGET:.0f}%)")
     if args.check and (speedup is None or speedup < TARGET_SPEEDUP):
         print("FAIL: speedup target missed", file=sys.stderr)
         return 1

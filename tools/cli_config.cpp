@@ -39,6 +39,19 @@ ScenarioConfig scenario_from(const Args& args) {
   if (args.has("hours")) sc.trace.duration_s = args.get_double("hours", 0) * 3600.0;
   if (sc.trace.duration_s <= 0.0) throw std::runtime_error("--hours must be positive");
   sc.sim.sample_interval_s = std::max(3600.0, sc.trace.duration_s / 20.0);
+
+  // Fault-layer knobs (dtn/fault.h); all default 0 = clean replay.
+  FaultConfig& f = sc.sim.faults;
+  f.contact_interrupt_prob =
+      args.get_double("fault-interrupt", f.contact_interrupt_prob);
+  if (f.contact_interrupt_prob < 0.0 || f.contact_interrupt_prob > 1.0)
+    throw std::runtime_error("--fault-interrupt must be in [0, 1]");
+  f.crash_rate_per_hour = args.get_double("fault-crash-rate", f.crash_rate_per_hour);
+  if (f.crash_rate_per_hour < 0.0)
+    throw std::runtime_error("--fault-crash-rate must be >= 0");
+  f.gossip_loss_prob = args.get_double("fault-gossip-loss", f.gossip_loss_prob);
+  if (f.gossip_loss_prob < 0.0 || f.gossip_loss_prob > 1.0)
+    throw std::runtime_error("--fault-gossip-loss must be in [0, 1]");
   return sc;
 }
 

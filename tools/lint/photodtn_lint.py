@@ -9,6 +9,10 @@ that have bitten floating-point/simulation codebases like this one:
   banned-time         std::time/time(nullptr)/clock() as entropy or sim time —
                       simulation time is explicit, wall clock is not allowed
                       in library code.
+  banned-wallclock    std::chrono::*_clock::now() outside src/obs/ and bench/ —
+                      wall-clock reads flow through obs/wall_clock.h so traces
+                      and metrics stay deterministic (sim-time-keyed) and the
+                      opt-in wallPerf section is the only wall-clock consumer.
   angle-compare       direct ==/!= on angle-ish floating-point identifiers
                       (angle/heading/theta/azimuth/bearing) — use the angle::
                       helpers (normalize_angle, angle_distance) instead.
@@ -38,7 +42,9 @@ LINT_DIRS = ["src", "tools", "bench", "examples", "tests"]
 
 ALLOW_RE = re.compile(r"photodtn-lint:\s*allow\(([a-z-]+)\)")
 
-# Rules that apply line by line: (rule, regex, message, applies_to_tests).
+# Rules that apply line by line:
+# (rule, regex, message, applies_to_tests, exempt_prefixes) — a file whose
+# repo-relative path starts with an exempt prefix skips the rule entirely.
 LINE_RULES = [
     (
         "banned-random",
@@ -46,6 +52,7 @@ LINE_RULES = [
         "raw C randomness; use photodtn::Rng (util/rng.h) so runs stay seeded "
         "and reproducible",
         True,
+        (),
     ),
     (
         "banned-time",
@@ -54,6 +61,17 @@ LINE_RULES = [
         "wall-clock time in library code; simulation time is explicit and "
         "entropy comes from util/rng.h",
         True,
+        (),
+    ),
+    (
+        "banned-wallclock",
+        re.compile(r"(?<![\w.])(?:std::chrono::)?"
+                   r"(?:steady|system|high_resolution)_clock\s*::\s*now\s*\("),
+        "direct chrono clock read; go through obs/wall_clock.h (wall-clock is "
+        "allowed only under src/obs/ and bench/ — traces and metrics must stay "
+        "deterministic)",
+        True,
+        ("src/obs/", "bench/"),
     ),
     (
         "angle-compare",
@@ -64,6 +82,7 @@ LINE_RULES = [
         "direct ==/!= on an angle; compare via angle_distance()/normalize_angle() "
         "(geometry/angle.h) or an explicit epsilon",
         False,
+        (),
     ),
     (
         "include-parent",
@@ -71,12 +90,14 @@ LINE_RULES = [
         'parent-relative include; include paths are rooted at src/ '
         '(e.g. "geometry/angle.h")',
         True,
+        (),
     ),
     (
         "include-bits",
         re.compile(r"#\s*include\s*<bits/"),
         "libstdc++ internal header; include the standard header instead",
         True,
+        (),
     ),
 ]
 
@@ -116,6 +137,7 @@ def in_tests(path: Path, root: Path) -> bool:
 def check_line_rules(path: Path, lines: list[str], root: Path) -> list[Finding]:
     findings = []
     is_test = in_tests(path, root)
+    rel = path.relative_to(root).as_posix() if path.is_relative_to(root) else ""
     in_block_comment = False
     for i, raw in enumerate(lines, start=1):
         line = raw
@@ -131,8 +153,10 @@ def check_line_rules(path: Path, lines: list[str], root: Path) -> list[Finding]:
             line = line[:start]
         code = strip_comment_and_strings(line)
         allows = allowed_rules(raw)
-        for rule, rx, msg, applies_to_tests in LINE_RULES:
+        for rule, rx, msg, applies_to_tests, exempt_prefixes in LINE_RULES:
             if is_test and not applies_to_tests:
+                continue
+            if any(rel.startswith(p) for p in exempt_prefixes):
                 continue
             if rule in allows:
                 continue

@@ -3,8 +3,16 @@
 //   photodtn_cli simulate [--trace mit|cambridge] [--scheme A,B,...]
 //                [--runs N] [--scale S] [--storage-gb G] [--rate R]
 //                [--pois N] [--theta-deg D] [--p-thld P] [--hours H]
-//                [--max-contact-s T] [--seed K] [--csv FILE]
+//                [--max-contact-s T] [--seed K] [--csv FILE] [--json FILE]
+//                [--fault-interrupt P] [--fault-crash-rate R]
+//                [--fault-gossip-loss P] [--metrics-out FILE]
+//                [--trace-out FILE]
 //       Run trace-driven simulations and print the coverage results.
+//       --metrics-out writes the merged metrics registry snapshots as JSON;
+//       --trace-out writes run 0 of the first scheme as a Chrome trace
+//       (chrome://tracing / Perfetto). Either flag switches the obs layer on
+//       for the run (as does PHOTODTN_OBS=1); PHOTODTN_OBS_WALL=1 appends
+//       the non-deterministic wall-clock "wallPerf" section to the trace.
 //
 //   photodtn_cli trace-gen --out FILE [--trace mit|cambridge] [--scale S]
 //                [--seed K]
@@ -22,13 +30,16 @@
 
 #include "cli_config.h"
 #include "geometry/angle.h"
+#include "obs/chrome_trace.h"
 #include "schemes/factory.h"
 #include "sim/experiment.h"
 #include "sim/result_io.h"
 #include "trace/trace_analysis.h"
 #include "trace/trace_io.h"
 #include "util/args.h"
+#include "util/env.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace photodtn;
 
@@ -47,7 +58,14 @@ int cmd_simulate(const Args& args) {
   const std::vector<std::string> schemes = cli::schemes_from(args);
   const std::string csv = args.get("csv", "");
   const std::string json = args.get("json", "");
+  const std::string metrics_out = args.get("metrics-out", "");
+  const std::string trace_out = args.get("trace-out", "");
   cli::reject_unknown_options(args);
+  if (!metrics_out.empty()) spec.scenario.sim.obs.metrics = true;
+  if (!trace_out.empty()) {
+    spec.scenario.sim.obs.metrics = true;
+    spec.scenario.sim.obs.trace = true;
+  }
 
   const ScenarioConfig& sc = spec.scenario;
   std::printf("simulate: %d participants, %.0fh, %zu PoIs, %.0f photos/h, "
@@ -75,6 +93,25 @@ int cmd_simulate(const Args& args) {
     if (!write_comparison_json(json, results))
       throw std::runtime_error("cannot write json to " + json);
     std::printf("json written to %s\n", json.c_str());
+  }
+  if (!metrics_out.empty()) {
+    if (!write_metrics_json(metrics_out, results))
+      throw std::runtime_error("cannot write metrics to " + metrics_out);
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    // Run 0 of the first scheme; the trace is keyed by simulation time and
+    // stays byte-identical across thread counts unless the wall-clock
+    // section is explicitly requested.
+    const ExperimentResult& first = results.front();
+    const obs::WallPerfSection wall =
+        obs::wall_section_from_pool(ThreadPool::shared().stats());
+    const bool with_wall = env_int("PHOTODTN_OBS_WALL", 0) != 0;
+    if (!obs::write_chrome_trace(trace_out, first.trace_events, &first.metrics,
+                                 with_wall ? &wall : nullptr))
+      throw std::runtime_error("cannot write trace to " + trace_out);
+    std::printf("trace written to %s (%zu events)\n", trace_out.c_str(),
+                first.trace_events.size());
   }
   return 0;
 }
