@@ -107,17 +107,17 @@ int main() {
     std::printf("--- %s ---\n", name.c_str());
     std::printf("delivered %llu photos; the church's aspect ring is %.0f deg covered\n",
                 (unsigned long long)r.delivered_photos, rad_to_deg(r.final_coverage.aspect));
-    for (const auto& [id, p] : sim.node(kCommandCenter).store().map()) {
+    for (const PhotoMeta& p : sim.node(kCommandCenter).store().photos()) {
       const PhotoFootprint& fp = model.footprint_cached(p);
       if (!fp.relevant()) {
         std::printf("  photo #%-3llu  (does not show the church)\n",
-                    (unsigned long long)id);
+                    (unsigned long long)p.id);
         continue;
       }
       const double view_from = (p.location - church).heading();
       std::printf("  photo #%-3llu  shot from %3.0f deg, %3.0f m away -> covers "
                   "[%.0f..%.0f] deg\n",
-                  (unsigned long long)id, rad_to_deg(view_from),
+                  (unsigned long long)p.id, rad_to_deg(view_from),
                   p.location.distance_to(church),
                   rad_to_deg(normalize_angle(view_from - deg_to_rad(40.0))),
                   rad_to_deg(normalize_angle(view_from + deg_to_rad(40.0))));

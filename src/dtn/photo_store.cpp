@@ -1,5 +1,7 @@
 #include "dtn/photo_store.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace photodtn {
@@ -31,7 +33,11 @@ bool PhotoStore::remove(PhotoId id) {
 std::vector<PhotoMeta> PhotoStore::photos() const {
   std::vector<PhotoMeta> out;
   out.reserve(photos_.size());
+  // photodtn-lint: allow(unordered-iter): extract-and-sort — id-sorted below
   for (const auto& [id, p] : photos_) out.push_back(p);
+  // Canonical id order: callers must never observe hash order.
+  std::sort(out.begin(), out.end(),
+            [](const PhotoMeta& a, const PhotoMeta& b) { return a.id < b.id; });
   return out;
 }
 
@@ -43,6 +49,7 @@ void PhotoStore::clear() {
 
 void PhotoStore::audit() const {
   std::uint64_t sum = 0;
+  // photodtn-lint: allow(unordered-iter): per-entry checks + commutative u64 sum
   for (const auto& [id, photo] : photos_) {
     PHOTODTN_CHECK_MSG(id == photo.id, "PhotoStore entry keyed by a different photo id");
     sum += photo.size_bytes;

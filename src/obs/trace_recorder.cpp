@@ -28,7 +28,7 @@ TraceRecorder::Buffer& TraceRecorder::local() {
   };
   thread_local Cache cache;
   if (cache.rec == this && cache.serial == serial_) return *cache.buf;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   buffers_.push_back(std::make_unique<Buffer>());
   Buffer* buf = buffers_.back().get();
   cache = Cache{this, serial_, buf};
@@ -83,7 +83,7 @@ void TraceRecorder::counter(const char* name, double ts_s, double value) {
 std::vector<TraceEvent> TraceRecorder::merged() const {
   std::vector<TraceEvent> out;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     std::size_t total = 0;
     for (const auto& b : buffers_) total += b->events.size();
     out.reserve(total);
@@ -99,7 +99,7 @@ std::vector<TraceEvent> TraceRecorder::merged() const {
 }
 
 std::size_t TraceRecorder::event_count() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::size_t total = 0;
   for (const auto& b : buffers_) total += b->events.size();
   return total;
@@ -109,7 +109,7 @@ void TraceRecorder::audit() const {
   auto check = [](bool ok, const char* what) {
     if (!ok) throw std::logic_error(std::string("TraceRecorder::audit: ") + what);
   };
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::unordered_set<std::uint64_t> seqs;
   for (const auto& b : buffers_) {
     check(b != nullptr, "null buffer");

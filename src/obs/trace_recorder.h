@@ -26,9 +26,11 @@
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace photodtn::obs {
 
@@ -92,8 +94,12 @@ class TraceRecorder {
 
   const std::uint64_t serial_;  // distinguishes recorders at reused addresses
   std::atomic<std::uint64_t> next_seq_{0};
-  mutable std::mutex mu_;  // guards buffers_ registration + merged()/audit()
-  std::vector<std::unique_ptr<Buffer>> buffers_;
+  /// Guards the buffer registry (registration in local(), enumeration in
+  /// merged()/event_count()/audit()). Buffer *contents* are single-writer:
+  /// each Buffer is appended to only by the thread that registered it, so
+  /// appends happen outside the lock by design (see local()).
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Buffer>> buffers_ PHOTODTN_GUARDED_BY(mu_);
 };
 
 }  // namespace photodtn::obs

@@ -14,6 +14,7 @@ void ProphetTable::age(double now) {
   const double factor = std::pow(cfg_.gamma, k);
   // With gamma in (0, 1] the factor cannot exceed 1, so aging is monotone
   // non-increasing; the clamp guards misconfigured gamma > 1.
+  // photodtn-lint: allow(unordered-iter): per-key independent decay, no cross-entry state
   for (auto& [node, p] : table_) p = clamp01(p * factor);
   last_aged_ = now;
   PHOTODTN_AUDIT(audit());
@@ -35,6 +36,7 @@ void ProphetTable::direct_update(NodeId peer) {
 void ProphetTable::transitive_update(
     const std::unordered_map<NodeId, double>& peer_snapshot, NodeId peer) {
   const double p_ab = table_[peer];
+  // photodtn-lint: allow(unordered-iter): each key updates only its own table_[c]
   for (const auto& [c, p_bc] : peer_snapshot) {
     if (c == self_ || c == peer) continue;
     double& p_ac = table_[c];
@@ -66,6 +68,7 @@ void ProphetTable::audit() const {
   PHOTODTN_CHECK_MSG(cfg_.aging_time_unit_s > 0.0,
                      "PROPHET aging time unit must be positive");
   PHOTODTN_CHECK_MSG(std::isfinite(last_aged_), "PROPHET aging clock must be finite");
+  // photodtn-lint: allow(unordered-iter): per-entry audit checks, no accumulation
   for (const auto& [node, p] : table_) {
     PHOTODTN_CHECK_MSG(node != self_, "PROPHET table must not hold an entry for self");
     PHOTODTN_CHECK_MSG(is_probability(p),

@@ -115,6 +115,7 @@ void OurScheme::on_photo_taken(SimContext& ctx, NodeId node, const PhotoMeta& ph
 void OurScheme::on_node_down(SimContext& ctx, NodeId node, bool storage_wiped) {
   (void)ctx;
   if (!cfg_.metadata_enabled) return;
+  // photodtn-lint: allow(unordered-iter): per-cache erase of one key, caches independent
   for (auto& [holder, c] : caches_) c.erase(node);
   // Holders' engines reconcile lazily: the erased entry falls out of `want`
   // on their next sync_engine and the collection is unloaded there.
@@ -184,6 +185,7 @@ SelectionEnvironment& OurScheme::sync_engine(SimContext& ctx, NodeId viewer,
   // by a fresher snapshot; keep the ones whose revision still matches — their
   // per-PoI factors are exactly the cached ones.
   std::uint64_t unloads = 0;
+  // photodtn-lint: allow(unordered-iter): per-key keep/erase decision; surviving set is order-independent
   for (auto lit = st.loaded_revs.begin(); lit != st.loaded_revs.end();) {
     const auto wit = want.find(lit->first);
     if (wit != want.end() && wit->second->revision == lit->second) {
@@ -200,6 +202,7 @@ SelectionEnvironment& OurScheme::sync_engine(SimContext& ctx, NodeId viewer,
   // state regardless of cache hash order.
   std::vector<const MetadataEntry*> fresh;
   fresh.reserve(want.size());
+  // photodtn-lint: allow(unordered-iter): extract-and-sort — owner-sorted below
   for (const auto& [owner, e] : want) fresh.push_back(e);
   std::sort(fresh.begin(), fresh.end(),
             [](const MetadataEntry* x, const MetadataEntry* y) {
@@ -239,6 +242,7 @@ void OurScheme::on_contact(SimContext& ctx, ContactSession& session) {
       std::uint64_t records = ctx.node(session.a()).store().size() +
                               ctx.node(session.b()).store().size();
       for (const NodeId n : {session.a(), session.b()})
+        // photodtn-lint: allow(unordered-iter): commutative integer sum
         for (const auto& [owner, entry] : cache(n).entries())
           records += entry.photos.size();
       if (per_photo > 0) session.consume(records * per_photo);
@@ -292,7 +296,9 @@ void OurScheme::contact_with_center(SimContext& ctx, ContactSession& session) {
   NodeCollection cc;
   cc.node = kCommandCenter;
   cc.delivery_prob = 1.0;
-  for (const auto& [id, p] : center.store().map()) {
+  // Id order, not hash order: footprint load order must not depend on the
+  // store's hashing even though ArcSet unions are insertion-order-invariant.
+  for (const PhotoMeta& p : center.store().photos()) {
     const PhotoFootprint& fp = model.footprint_cached(p);
     if (fp.relevant()) cc.footprints.push_back(&fp);
   }
@@ -409,6 +415,9 @@ bool OurScheme::realize_target(SimContext& ctx, ContactSession& session, NodeId 
     std::optional<PhotoId> best;
     int best_rank = 4;
     CoverageValue best_value;
+    // Strict-minimum selection over the total order (rank, value, id): the
+    // id tie-break makes the winner unique, so hash order cannot pick it.
+    // photodtn-lint: allow(unordered-iter): selects the unique (rank, value, id) minimum
     for (const auto& [id, p] : h.store().map()) {
       if (target_set.contains(id)) continue;
       int rank = 3;
@@ -418,7 +427,8 @@ bool OurScheme::realize_target(SimContext& ctx, ContactSession& session, NodeId 
         rank = 2;
       }
       const CoverageValue v = standalone_value(ctx.model(), p);
-      if (rank < best_rank || (rank == best_rank && v < best_value)) {
+      if (rank < best_rank || (rank == best_rank && v < best_value) ||
+          (rank == best_rank && v == best_value && (!best || id < *best))) {
         best_rank = rank;
         best_value = v;
         best = id;

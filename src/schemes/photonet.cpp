@@ -37,6 +37,7 @@ double PhotoNetScheme::distance(const PhotoMeta& a, const PhotoMeta& b) const {
 double PhotoNetScheme::min_distance_to(SimContext& ctx, const PhotoMeta& photo,
                                        NodeId node) const {
   double best = std::numeric_limits<double>::infinity();
+  // photodtn-lint: allow(unordered-iter): min over finite distances commutes exactly
   for (const auto& [id, p] : ctx.node(node).store().map()) {
     if (id == photo.id) continue;
     best = std::min(best, distance(photo, p));

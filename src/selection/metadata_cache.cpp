@@ -1,5 +1,6 @@
 #include "selection/metadata_cache.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.h"
@@ -33,6 +34,7 @@ bool MetadataCache::is_valid(const MetadataEntry& entry, double now) const {
 
 std::size_t MetadataCache::prune(double now) {
   std::size_t removed = 0;
+  // photodtn-lint: allow(unordered-iter): per-entry keep/erase, no cross-entry state
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (!is_valid(it->second, now)) {
       it = entries_.erase(it);
@@ -48,8 +50,15 @@ std::size_t MetadataCache::prune(double now) {
 std::vector<const MetadataEntry*> MetadataCache::valid_entries(double now) const {
   std::vector<const MetadataEntry*> out;
   out.reserve(entries_.size());
+  // photodtn-lint: allow(unordered-iter): extract-and-sort — owner-sorted below
   for (const auto& [owner, entry] : entries_)
     if (is_valid(entry, now)) out.push_back(&entry);
+  // Owner order: consumers fold these into selection environments, where
+  // float-product update order must not depend on hash layout.
+  std::sort(out.begin(), out.end(),
+            [](const MetadataEntry* a, const MetadataEntry* b) {
+              return a->owner < b->owner;
+            });
   return out;
 }
 
@@ -64,6 +73,7 @@ const MetadataEntry* MetadataCache::find(NodeId owner) const {
 
 std::size_t MetadataCache::merge_from(const MetadataCache& other, NodeId self) {
   std::size_t accepted = 0;
+  // photodtn-lint: allow(unordered-iter): per-owner acceptance is independent; revision stamps are compared only for equality, never ordered
   for (const auto& [owner, entry] : other.entries_) {
     if (owner == self) continue;
     if (update(entry)) ++accepted;
@@ -75,6 +85,7 @@ std::size_t MetadataCache::merge_from(const MetadataCache& other, NodeId self) {
 void MetadataCache::audit() const {
   PHOTODTN_CHECK_MSG(is_probability(p_thld_),
                      "MetadataCache validity threshold must be in [0, 1]");
+  // photodtn-lint: allow(unordered-iter): per-entry audit checks, no accumulation
   for (const auto& [owner, entry] : entries_) {
     PHOTODTN_CHECK_MSG(owner == entry.owner,
                        "MetadataCache entry keyed by a different owner");
@@ -90,6 +101,7 @@ void MetadataCache::audit() const {
   }
   // Revisions are never reused: each accepted entry gets a fresh stamp.
   std::unordered_map<std::uint64_t, int> seen;
+  // photodtn-lint: allow(unordered-iter): uniqueness check holds in any visit order
   for (const auto& [owner, entry] : entries_)
     PHOTODTN_CHECK_MSG(++seen[entry.revision] == 1,
                        "MetadataCache revision stamps must be unique");

@@ -316,6 +316,7 @@ void SelectionEnvironment::add_collection(const NodeCollection& collection) {
   for (const PhotoFootprint* fp : collection.footprints)
     for (const PoiArc& pa : fp->arcs) arcs_by_poi[pa.poi_index].add(pa.arc);
   entry.touched.reserve(arcs_by_poi.size());
+  // photodtn-lint: allow(unordered-iter): one append per distinct PoI; touched is sorted below
   for (auto& [poi, arcs] : arcs_by_poi) {
     covers_[poi].push_back(
         NodePoiCover{collection.node, collection.delivery_prob, std::move(arcs)});
@@ -342,6 +343,7 @@ void SelectionEnvironment::extend_collection(
   std::unordered_map<std::size_t, ArcSet> arcs_by_poi;
   for (const PhotoFootprint* fp : extra)
     for (const PoiArc& pa : fp->arcs) arcs_by_poi[pa.poi_index].add(pa.arc);
+  // photodtn-lint: allow(unordered-iter): per-PoI find-or-extend of this node's single cover entry
   for (auto& [poi, arcs] : arcs_by_poi) {
     std::vector<NodePoiCover>& covers = covers_[poi];
     auto cover = std::find_if(covers.begin(), covers.end(),
@@ -424,6 +426,7 @@ void SelectionEnvironment::audit() const {
                          dirty_.size() == covers_.size(),
                      "environment per-PoI arrays must match the model");
   std::vector<std::size_t> cover_counts(covers_.size(), 0);
+  // photodtn-lint: allow(unordered-iter): per-entry audit checks + commutative counts
   for (const auto& [node, entry] : loaded_) {
     PHOTODTN_CHECK_MSG(is_probability(entry.delivery_prob),
                        "loaded collection delivery probability must be in [0, 1]");

@@ -5,7 +5,9 @@
 namespace photodtn {
 
 std::int64_t env_int(const std::string& name, std::int64_t fallback) {
-  const char* v = std::getenv(name.c_str());
+  // getenv is MT-safe as long as nothing calls setenv concurrently; the
+  // process never mutates its environment, so the glibc caveat is moot.
+  const char* v = std::getenv(name.c_str());  // NOLINT(concurrency-mt-unsafe)
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
   const long long parsed = std::strtoll(v, &end, 10);
@@ -14,7 +16,8 @@ std::int64_t env_int(const std::string& name, std::int64_t fallback) {
 }
 
 double env_double(const std::string& name, double fallback) {
-  const char* v = std::getenv(name.c_str());
+  // Same single-writer-environment argument as env_int.
+  const char* v = std::getenv(name.c_str());  // NOLINT(concurrency-mt-unsafe)
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
   const double parsed = std::strtod(v, &end);

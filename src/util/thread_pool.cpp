@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t concurrency)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
+    MutexLock lk(queue_mu_);
     stopping_ = true;
   }
   queue_cv_.notify_all();
@@ -43,7 +43,7 @@ void ThreadPool::drain(Job& job, LaneCounters& lane) {
   for (;;) {
     std::size_t chunk;
     {
-      std::lock_guard<std::mutex> lk(job.mu);
+      MutexLock lk(job.mu);
       if (job.next >= job.total) return;
       chunk = job.next++;
     }
@@ -68,7 +68,7 @@ void ThreadPool::drain(Job& job, LaneCounters& lane) {
       }
       latency_counts_[bucket].fetch_add(1, std::memory_order_relaxed);
     }
-    std::lock_guard<std::mutex> lk(job.mu);
+    MutexLock lk(job.mu);
     if (err && !job.error) job.error = err;
     if (++job.done == job.total) job.all_done.notify_all();
   }
@@ -94,8 +94,10 @@ void ThreadPool::worker_loop(std::size_t lane) {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lk(queue_mu_);
-      queue_cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      // Predicate-free wait loop: the guarded reads stay in this scope, where
+      // the capability analysis can see queue_mu_ is held.
+      MutexLock lk(queue_mu_);
+      while (!stopping_ && queue_.empty()) queue_cv_.wait(queue_mu_);
       if (queue_.empty()) return;  // stopping, nothing left to help with
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -119,7 +121,7 @@ void ThreadPool::parallel_chunks(std::size_t chunks,
   job->total = chunks;
   const std::size_t helpers = std::min(concurrency_ - 1, chunks - 1);
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
+    MutexLock lk(queue_mu_);
     for (std::size_t i = 0; i < helpers; ++i) queue_.push_back(job);
   }
   if (helpers == 1) {
@@ -128,8 +130,8 @@ void ThreadPool::parallel_chunks(std::size_t chunks,
     queue_cv_.notify_all();
   }
   drain(*job, lanes_.back());  // the caller is always one of the executors
-  std::unique_lock<std::mutex> lk(job->mu);
-  job->all_done.wait(lk, [&] { return job->done == job->total; });
+  MutexLock lk(job->mu);
+  while (job->done != job->total) job->all_done.wait(job->mu);
   if (job->error) std::rethrow_exception(job->error);
 }
 

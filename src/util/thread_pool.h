@@ -22,17 +22,18 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace photodtn {
 
@@ -107,14 +108,16 @@ class ThreadPool {
  private:
   /// One parallel_chunks invocation: workers and the caller race on `next`
   /// (claiming chunks), and the caller waits until `done` reaches `total`.
+  /// `fn` and `total` are written once before the job is published and read
+  /// lock-free afterwards; the mutable progress state is capability-checked.
   struct Job {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::size_t total = 0;
-    std::size_t next = 0;  // guarded by mu
-    std::size_t done = 0;  // guarded by mu
-    std::exception_ptr error;
-    std::mutex mu;
-    std::condition_variable all_done;
+    Mutex mu;
+    std::size_t next PHOTODTN_GUARDED_BY(mu) = 0;
+    std::size_t done PHOTODTN_GUARDED_BY(mu) = 0;
+    std::exception_ptr error PHOTODTN_GUARDED_BY(mu);
+    CondVar all_done;
   };
 
   /// Per-lane wall-clock counters (relaxed atomics: each is a monotone sum,
@@ -138,10 +141,11 @@ class ThreadPool {
   std::array<std::atomic<std::uint64_t>, kTaskLatencyBoundsNs.size() + 1>
       latency_counts_{};
   std::vector<std::thread> workers_;
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<std::shared_ptr<Job>> queue_;  // one entry per pending helper
-  bool stopping_ = false;
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  /// One entry per pending helper slot of a published job.
+  std::deque<std::shared_ptr<Job>> queue_ PHOTODTN_GUARDED_BY(queue_mu_);
+  bool stopping_ PHOTODTN_GUARDED_BY(queue_mu_) = false;
 };
 
 }  // namespace photodtn

@@ -69,6 +69,23 @@ TEST(PhotoStore, SnapshotAndClear) {
   EXPECT_EQ(s.used_bytes(), 0u);
 }
 
+TEST(PhotoStore, SnapshotIsIdSortedRegardlessOfInsertionOrder) {
+  // photos() must present canonical id order, never the hash table's: the
+  // snapshot feeds footprint loads and demo output where iteration order is
+  // observable. Scrambled insertion over enough keys that hash order would
+  // almost surely differ from sorted order.
+  PhotoStore s;
+  Rng rng(0xD15C0);
+  std::vector<PhotoId> ids;
+  for (PhotoId i = 1; i <= 64; ++i) ids.push_back(i * 37 % 1009);
+  rng.shuffle(ids);
+  for (const PhotoId id : ids) ASSERT_TRUE(s.add(photo(id, 1)));
+  const std::vector<PhotoMeta> snap = s.photos();
+  ASSERT_EQ(snap.size(), ids.size());
+  for (std::size_t i = 1; i < snap.size(); ++i)
+    EXPECT_LT(snap[i - 1].id, snap[i].id) << "photos() not id-sorted at " << i;
+}
+
 TEST(PhotoStore, UsedBytesTracksMixedOperations) {
   PhotoStore s(1000);
   s.add(photo(1, 300));

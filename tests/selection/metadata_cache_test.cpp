@@ -76,6 +76,20 @@ TEST(MetadataCache, ValidEntriesFiltersWithoutPruning) {
   EXPECT_EQ(cache.size(), 2u);  // nothing removed
 }
 
+TEST(MetadataCache, ValidEntriesAreOwnerSortedRegardlessOfInsertionOrder) {
+  // valid_entries() feeds selection environments, where the order of
+  // floating-point miss-product updates must not depend on hash layout:
+  // the contract is canonical owner order. Insert owners scrambled.
+  MetadataCache cache(0.8);
+  for (const NodeId owner : {41, 7, 29, 3, 53, 17, 11, 47, 23, 5, 37, 13})
+    cache.update(entry(owner, 0.0, 1e-9));
+  const auto valid = cache.valid_entries(100.0);
+  ASSERT_EQ(valid.size(), 12u);
+  for (std::size_t i = 1; i < valid.size(); ++i)
+    EXPECT_LT(valid[i - 1]->owner, valid[i]->owner)
+        << "valid_entries() not owner-sorted at " << i;
+}
+
 TEST(MetadataCache, MergeTakesFresherAndSkipsSelf) {
   MetadataCache mine(0.8), theirs(0.8);
   mine.update(entry(2, 10.0, 0.01));
