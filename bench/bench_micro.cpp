@@ -445,6 +445,22 @@ void BM_OurSchemeE2E_Obs(benchmark::State& state) {
 }
 BENCHMARK(BM_OurSchemeE2E_Obs);
 
+/// The same clean scenario with checkpointing enabled (a crash-safe
+/// snapshot to disk every 500 events). Paired with BM_OurSchemeE2E in
+/// BENCH_persist.json: the enabled cost is advisory (serialization + an
+/// atomic file replace per checkpoint); the *disabled* cost — the plain
+/// BM_OurSchemeE2E, where persistence is one unset-hook test per event —
+/// is the gate against the pre-persist clean median.
+void BM_OurSchemeE2E_Ckpt(benchmark::State& state) {
+  const ExperimentSpec spec = e2e_spec();
+  RunPersistence persistence;
+  persistence.checkpoint_every = 500;
+  persistence.checkpoint_path = "bench_ckpt.snap";
+  for (auto _ : state)
+    benchmark::DoNotOptimize(run_single(spec, 42, persistence));
+}
+BENCHMARK(BM_OurSchemeE2E_Ckpt);
+
 /// Multi-seed experiment sweep on an explicit pool — the run_experiment hot
 /// path that used to spawn one std::async thread per seed. range = pool
 /// threads (0 = the shared pool). The aggregate is byte-identical across

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "coverage/photo.h"
+#include "persist/fwd.h"
 
 namespace photodtn {
 
@@ -46,6 +47,16 @@ class Scheme {
   /// bandwidth constraints for schemes that request it (Section V-B).
   virtual bool wants_unlimited_storage() const { return false; }
   virtual bool wants_unlimited_bandwidth() const { return false; }
+
+  /// Checkpoint/restore hooks (src/persist/): a stateful scheme serializes
+  /// its private mid-run state (caches, counters, engines) into the
+  /// snapshot's scheme section and reloads it after init(). Containers must
+  /// be written in a deterministic order (sorted by key); load may assume
+  /// the section passed its CRC but must still validate semantic invariants
+  /// (restore runs audits afterward). Stateless schemes keep the empty
+  /// defaults and snapshot/restore cleanly with a zero-byte section.
+  virtual void save_persist_state(persist::StateWriter& /*w*/) const {}
+  virtual void load_persist_state(persist::StateReader& /*r*/, SimContext& /*ctx*/) {}
 };
 
 }  // namespace photodtn

@@ -239,42 +239,47 @@ SimResult Simulator::run(Scheme& scheme) {
   PHOTODTN_CHECK_MSG(!ran_, "Simulator::run is single-shot; construct a new instance");
   ran_ = true;
 
-  scheme.init(*this);
+  // A restored simulator already had scheme.init() run by persist::restore
+  // (the scheme's loaded state would be clobbered by a second init).
+  if (!restored_) scheme.init(*this);
 
   const auto& contacts = trace_->contacts();
   const auto& churn = faults_.transitions();
-  std::size_t ci = 0;  // next contact
-  std::size_t pi = 0;  // next photo event
-  std::size_t fi = 0;  // next churn transition
-  double next_sample = 0.0;
 
   auto next_event_time = [&]() {
     double t = trace_->horizon();
-    if (ci < contacts.size()) t = std::min(t, contacts[ci].start);
-    if (pi < photo_events_.size()) t = std::min(t, photo_events_[pi].time);
-    if (fi < churn.size()) t = std::min(t, churn[fi].time);
+    if (ci_ < contacts.size()) t = std::min(t, contacts[ci_].start);
+    if (pi_ < photo_events_.size()) t = std::min(t, photo_events_[pi_].time);
+    if (fi_ < churn.size()) t = std::min(t, churn[fi_].time);
     return t;
   };
 
-  while (ci < contacts.size() || pi < photo_events_.size() || fi < churn.size()) {
+  while (ci_ < contacts.size() || pi_ < photo_events_.size() || fi_ < churn.size()) {
+    // Iteration top = the checkpoint surface: every cursor names the *next*
+    // event, so a snapshot here plus a resume replays the remaining trace
+    // exactly. event_index_ counts completed iterations; the first firing
+    // after a restore re-checkpoints the restored position (harmless — the
+    // bytes are identical).
+    if (checkpoint_hook_) checkpoint_hook_(event_index_);
+    ++event_index_;
     const double t = next_event_time();
-    while (next_sample <= t) {
-      now_ = next_sample;
+    while (next_sample_ <= t) {
+      now_ = next_sample_;
       take_sample();
-      next_sample += config_.sample_interval_s;
+      next_sample_ += config_.sample_interval_s;
     }
     now_ = t;
     // Churn strictly before concurrent photos and contacts: a node down at
     // instant t misses the contact at t; one rebooting at t attends it.
-    if (fi < churn.size() && churn[fi].time <= t) {
-      apply_churn(churn[fi++], scheme);
+    if (fi_ < churn.size() && churn[fi_].time <= t) {
+      apply_churn(churn[fi_++], scheme);
       continue;
     }
     // Photo events strictly before concurrent contacts: a photo taken at the
     // instant of a contact is available to that contact.
-    if (pi < photo_events_.size() && photo_events_[pi].time <= t &&
-        (ci >= contacts.size() || photo_events_[pi].time <= contacts[ci].start)) {
-      const PhotoEvent& ev = photo_events_[pi++];
+    if (pi_ < photo_events_.size() && photo_events_[pi_].time <= t &&
+        (ci_ >= contacts.size() || photo_events_[pi_].time <= contacts[ci_].start)) {
+      const PhotoEvent& ev = photo_events_[pi_++];
       PHOTODTN_CHECK_MSG(ev.node > kCommandCenter && ev.node < num_nodes(),
                          "photo taken by unknown node");
       if (down_[static_cast<std::size_t>(ev.node)]) {
@@ -289,8 +294,8 @@ SimResult Simulator::run(Scheme& scheme) {
       scheme.on_photo_taken(*this, ev.node, ev.photo);
       continue;
     }
-    const std::size_t contact_index = ci;
-    const Contact& c = contacts[ci++];
+    const std::size_t contact_index = ci_;
+    const Contact& c = contacts[ci_++];
     if (down_[static_cast<std::size_t>(c.a)] || down_[static_cast<std::size_t>(c.b)]) {
       // Real absence: no rate/PROPHET update, no metadata, no payload — the
       // surviving peer does not even know the opportunity existed.
@@ -345,10 +350,10 @@ SimResult Simulator::run(Scheme& scheme) {
   }
 
   // Trailing samples up to and including the horizon.
-  while (next_sample <= trace_->horizon() + 1e-9) {
-    now_ = next_sample;
+  while (next_sample_ <= trace_->horizon() + 1e-9) {
+    now_ = next_sample_;
     take_sample();
-    next_sample += config_.sample_interval_s;
+    next_sample_ += config_.sample_interval_s;
   }
 
   SimResult result;

@@ -17,6 +17,7 @@
 #include "dtn/node.h"
 #include "dtn/scheme.h"
 #include "obs/obs.h"
+#include "persist/fwd.h"
 #include "trace/contact_trace.h"
 #include "util/rng.h"
 
@@ -242,7 +243,24 @@ class Simulator : public SimContext {
 
   /// Runs the whole trace under `scheme` and returns the metric series.
   /// A Simulator instance is single-shot: construct a fresh one per run.
+  /// After persist::restore() the same call resumes from the checkpointed
+  /// event instead of the start (and skips scheme.init(), which restore
+  /// already ran); the completed run is byte-identical to an uninterrupted
+  /// one.
   SimResult run(Scheme& scheme);
+
+  /// Called at the top of every event-loop iteration with the number of
+  /// events already processed, *before* the next event executes — the
+  /// instant at which the simulator's state is a consistent checkpoint
+  /// surface. persist-aware runners snapshot from here. Set before run();
+  /// nullptr (the default) costs one branch per event.
+  void set_checkpoint_hook(std::function<void(std::uint64_t)> hook) {
+    checkpoint_hook_ = std::move(hook);
+  }
+
+  /// Events processed so far (event-loop iterations completed). Identifies
+  /// a checkpoint position.
+  std::uint64_t event_index() const noexcept { return event_index_; }
 
   /// Observes every simulation event (contacts, captures, transfers, drops,
   /// deliveries). Set before run(); pass nullptr to disable. The listener
@@ -274,6 +292,7 @@ class Simulator : public SimContext {
 
  private:
   friend class ContactSession;
+  friend struct persist::StateAccess;  // checkpoint/restore of all run state
 
   /// The simulator's own counters, pre-registered on the obs registry (the
   /// registry is the single source of truth; SimCounters is materialized
@@ -310,6 +329,15 @@ class Simulator : public SimContext {
   CoverageMap cc_coverage_;
   double now_ = 0.0;
   bool ran_ = false;
+  // Event-loop cursors, members (not run() locals) so a checkpoint can
+  // capture them and a restore can resume the loop mid-trace.
+  std::size_t ci_ = 0;           // next contact
+  std::size_t pi_ = 0;           // next photo event
+  std::size_t fi_ = 0;           // next churn transition
+  double next_sample_ = 0.0;     // next coverage-sample time
+  std::uint64_t event_index_ = 0;  // loop iterations completed
+  bool restored_ = false;        // run() resumes; scheme.init already ran
+  std::function<void(std::uint64_t)> checkpoint_hook_;
   obs::Obs obs_;  // after config_: seeded from config_.obs + environment
   CounterIds ids_;
   obs::MetricsRegistry::Histogram h_contact_bytes_;  // metrics tier only

@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "persist/fwd.h"
+
 namespace photodtn {
 
 /// A single arc, by start heading (radians, any finite value — normalized on
@@ -72,6 +74,10 @@ class ArcSet {
   void audit() const;
 
  private:
+  // Restore writes the canonical intervals back verbatim (then audits):
+  // re-adding them through add() could renormalize with different rounding.
+  friend struct persist::StateAccess;
+
   void insert_linear(double lo, double hi);
 
   std::vector<std::pair<double, double>> intervals_;

@@ -1,8 +1,8 @@
 #include "obs/chrome_trace.h"
 
-#include <fstream>
 #include <string>
 
+#include "persist/file_io.h"
 #include "util/json.h"
 #include "util/thread_pool.h"
 
@@ -105,11 +105,8 @@ std::string chrome_trace_json(std::span<const TraceEvent> events,
 
 bool write_chrome_trace(const std::string& path, std::span<const TraceEvent> events,
                         const MetricsSnapshot* metrics, const WallPerfSection* wall) {
-  const std::string doc = chrome_trace_json(events, metrics, wall);
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  out << doc << '\n';
-  return static_cast<bool>(out);
+  return persist::checked_write_file(path,
+                                     chrome_trace_json(events, metrics, wall) + "\n");
 }
 
 }  // namespace photodtn::obs

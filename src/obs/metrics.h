@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "persist/fwd.h"
 #include "util/check.h"
 
 namespace photodtn {
@@ -129,6 +130,11 @@ class MetricsRegistry {
   void audit() const;
 
  private:
+  // Checkpoint/restore writes values (and histogram states) by name via the
+  // public find-or-create handles; serialization sorts by name, so handle
+  // indices — which depend on registration order — never leak into output.
+  friend struct persist::StateAccess;
+
   struct HistogramState {
     std::vector<std::uint64_t> bounds;
     std::vector<std::uint64_t> counts;  // bounds.size() + 1

@@ -80,6 +80,23 @@ void TraceRecorder::counter(const char* name, double ts_s, double value) {
   push(ev, {{"value", value}});
 }
 
+const char* TraceRecorder::intern(const std::string& s) {
+  MutexLock lk(mu_);
+  return interned_.insert(s).first->c_str();
+}
+
+void TraceRecorder::restore_events(std::vector<TraceEvent> events,
+                                   std::uint64_t next_seq) {
+  MutexLock lk(mu_);
+  // Empty the registered buffers rather than destroying them: a thread-local
+  // cache in local() may still point into this list, and an emptied buffer
+  // stays a valid append target while a freed one would dangle.
+  for (auto& b : buffers_) b->events.clear();
+  buffers_.push_back(std::make_unique<Buffer>());
+  buffers_.back()->events = std::move(events);
+  next_seq_.store(next_seq, std::memory_order_relaxed);
+}
+
 std::vector<TraceEvent> TraceRecorder::merged() const {
   std::vector<TraceEvent> out;
   {

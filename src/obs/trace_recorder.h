@@ -26,9 +26,12 @@
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
+#include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "persist/fwd.h"
 #include "util/sync.h"
 #include "util/thread_annotations.h"
 
@@ -85,12 +88,26 @@ class TraceRecorder {
   void audit() const;
 
  private:
+  // Checkpoint reads merged() + the sequence clock; restore re-injects the
+  // events through restore_events(). Snapshot strings become interned copies
+  // (the recorder normally borrows string literals and owns nothing).
+  friend struct persist::StateAccess;
+
   struct Buffer {
     std::vector<TraceEvent> events;
   };
 
   Buffer& local();
   void push(TraceEvent ev, std::initializer_list<TraceArg> args);
+
+  /// Returns a stable pointer to an owned copy of `s`, deduplicated — event
+  /// name/cat/arg-key fields restored from a snapshot point here instead of
+  /// at string literals.
+  const char* intern(const std::string& s);
+  /// Replaces every buffer with one holding `events` (whose string fields
+  /// must already be interned or literal) and sets the sequence clock, so
+  /// post-restore recording continues with fresh unique stamps.
+  void restore_events(std::vector<TraceEvent> events, std::uint64_t next_seq);
 
   const std::uint64_t serial_;  // distinguishes recorders at reused addresses
   std::atomic<std::uint64_t> next_seq_{0};
@@ -100,6 +117,10 @@ class TraceRecorder {
   /// appends happen outside the lock by design (see local()).
   mutable Mutex mu_;
   std::vector<std::unique_ptr<Buffer>> buffers_ PHOTODTN_GUARDED_BY(mu_);
+  // Owned storage for restored event strings; std::set node addresses are
+  // stable, so the const char* handed out by intern() stay valid for the
+  // recorder's lifetime.
+  std::set<std::string> interned_ PHOTODTN_GUARDED_BY(mu_);
 };
 
 }  // namespace photodtn::obs

@@ -1,0 +1,101 @@
+// Binary snapshot codec: bounds-checked little-endian readers/writers and
+// the CRC32 used to seal every snapshot section.
+//
+// Determinism contract: a StateWriter emits a pure function of the values
+// written — fixed-width little-endian integers, IEEE-754 doubles by bit
+// pattern, length-prefixed strings — so byte-comparing two snapshots
+// compares the serialized state exactly. Containers must be written in a
+// deterministic order by the caller (sorted by key for hash maps).
+//
+// Failure contract: a StateReader never crashes or reads out of bounds on
+// adversarial input. Every malformed condition (truncation, length overflow,
+// trailing garbage) throws SnapshotError with a diagnostic message; the
+// caller decides whether that aborts a restore or fails a corpus test.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace photodtn::persist {
+
+/// Any malformed, truncated, version-skewed, or checksum-failing snapshot
+/// condition. Deliberately distinct from std::logic_error (programming
+/// errors): corrupt input is an expected runtime condition callers handle.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `data`. Standard zlib-style
+/// parameters: init 0xffffffff, final xor 0xffffffff.
+std::uint32_t crc32(std::string_view data) noexcept;
+
+/// Append-only little-endian byte sink.
+class StateWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  /// IEEE-754 bit pattern: round-trips every value (NaN payloads included).
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  /// Length-prefixed (u32) raw bytes.
+  void str(std::string_view s);
+  void raw(std::string_view bytes) { out_.append(bytes.data(), bytes.size()); }
+
+  const std::string& bytes() const noexcept { return out_; }
+  std::string take() { return std::move(out_); }
+  std::size_t size() const noexcept { return out_.size(); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reader over a byte view. The view must outlive the reader.
+class StateReader {
+ public:
+  explicit StateReader(std::string_view data, std::string context = "snapshot")
+      : data_(data), context_(std::move(context)) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  bool boolean();
+  std::string str();
+  /// Reads exactly `n` raw bytes.
+  std::string_view raw(std::size_t n);
+
+  std::size_t offset() const noexcept { return pos_; }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool at_end() const noexcept { return pos_ == data_.size(); }
+
+  /// Throws SnapshotError unless every byte has been consumed — trailing
+  /// garbage in a sealed section means the payload is not what its length
+  /// claims.
+  void expect_end() const;
+
+  /// Reads a u64 element count and validates it against the bytes actually
+  /// left (each element needs at least `min_element_bytes`), so a corrupted
+  /// count cannot drive a multi-gigabyte allocation before the bounds
+  /// checks would catch it.
+  std::size_t count(std::size_t min_element_bytes);
+
+  [[noreturn]] void fail(const std::string& what) const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::string_view data_;
+  std::string context_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace photodtn::persist

@@ -1,0 +1,74 @@
+#include "persist/file_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace photodtn::persist {
+
+namespace {
+
+void report(const std::string& path, const char* verb) {
+  // errno may already be clobbered by stream teardown; capture first.
+  const int err = errno;
+  std::fprintf(stderr, "photodtn: failed to %s '%s': %s\n", verb, path.c_str(),
+               err != 0 ? std::strerror(err) : "stream error");
+}
+
+}  // namespace
+
+bool checked_write_file(const std::string& path, std::string_view data) {
+  errno = 0;
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    report(path, "open for writing");
+    return false;
+  }
+  f.write(data.data(), static_cast<std::streamsize>(data.size()));
+  // flush() pushes buffered bytes to the OS so ENOSPC surfaces here, not in
+  // a destructor that swallows it.
+  f.flush();
+  if (!f) {
+    report(path, "write");
+    return false;
+  }
+  f.close();
+  if (f.fail()) {
+    report(path, "close after writing");
+    return false;
+  }
+  return true;
+}
+
+bool atomic_write_file(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  if (!checked_write_file(tmp, data)) return false;
+  errno = 0;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    report(path, "rename temporary file onto");
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  errno = 0;
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    report(path, "open for reading");
+    return false;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  if (f.bad()) {
+    report(path, "read");
+    return false;
+  }
+  out = std::move(ss).str();
+  return true;
+}
+
+}  // namespace photodtn::persist

@@ -1,0 +1,30 @@
+// Checked file I/O for every artifact the toolchain writes (snapshots,
+// result JSON, traces, CSV tables). Raw `std::ofstream << ...` silently
+// truncates on ENOSPC or a bad path; these helpers verify open, write, AND
+// flush, and surface the OS error. The repo lint
+// (tools/lint/photodtn_lint.py, rule raw-file-write) routes all raw
+// ofstream/fwrite use in src/ through here.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace photodtn::persist {
+
+/// Writes `data` to `path`, replacing any existing file. Returns true on
+/// success; on failure prints one clear diagnostic line (path + errno
+/// string) to stderr and returns false. The file may be left partially
+/// written on failure — use atomic_write_file when that matters.
+bool checked_write_file(const std::string& path, std::string_view data);
+
+/// Crash-safe replace: writes to `path + ".tmp"`, flushes, then renames over
+/// `path`. A reader never observes a half-written file — it sees either the
+/// old content or the new, which is what lets a checkpoint written every N
+/// events survive a SIGKILL at any instant. Diagnostics as above.
+bool atomic_write_file(const std::string& path, std::string_view data);
+
+/// Reads the whole file in binary mode into `out`. Returns true on success;
+/// on failure prints a diagnostic to stderr and returns false.
+bool read_file(const std::string& path, std::string& out);
+
+}  // namespace photodtn::persist

@@ -1,0 +1,17 @@
+// Forward declarations for the persistence layer, so state-bearing classes
+// can grant `friend struct persist::StateAccess;` without pulling snapshot
+// machinery into their headers.
+#pragma once
+
+namespace photodtn::persist {
+
+/// The single friend the snapshot codec uses to reach private state. Keeping
+/// all privileged access behind one named struct makes the serialization
+/// surface greppable and keeps classes from exposing restore-only mutators
+/// in their public APIs.
+struct StateAccess;
+
+class StateWriter;
+class StateReader;
+
+}  // namespace photodtn::persist

@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "coverage/photo.h"  // NodeId
+#include "persist/fwd.h"
 
 namespace photodtn {
 
@@ -53,6 +54,8 @@ class ProphetTable {
   void audit() const;
 
  private:
+  friend struct persist::StateAccess;  // checkpoint/restore of aging clock + table
+
   void direct_update(NodeId peer);
   void transitive_update(const std::unordered_map<NodeId, double>& peer_snapshot,
                          NodeId peer);

@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "coverage/photo.h"  // NodeId
+#include "persist/fwd.h"
 
 namespace photodtn {
 
@@ -32,6 +33,8 @@ class RateEstimator {
   std::size_t total_contacts() const noexcept { return total_; }
 
  private:
+  friend struct persist::StateAccess;  // checkpoint/restore of the counts
+
   double observation_time(double now) const;
 
   double start_ = 0.0;

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "coverage/photo.h"
+#include "persist/fwd.h"
 
 namespace photodtn {
 
@@ -42,6 +43,8 @@ class SprayCounter {
   std::uint32_t initial_copies() const noexcept { return initial_copies_; }
 
  private:
+  friend struct persist::StateAccess;  // checkpoint/restore of the copy map
+
   std::uint32_t initial_copies_;
   std::unordered_map<PhotoId, std::uint32_t> copies_;
 };

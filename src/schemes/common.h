@@ -1,11 +1,15 @@
 // Helpers shared by the dissemination schemes.
 #pragma once
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "coverage/coverage_model.h"
 #include "coverage/coverage_value.h"
 #include "dtn/photo_store.h"
+#include "persist/fwd.h"
+#include "routing/spray_counter.h"
 
 namespace photodtn {
 
@@ -22,5 +26,17 @@ CoverageValue standalone_value(const CoverageModel& model, const PhotoMeta& phot
 
 /// Union pool F_a ∪ F_b, deduplicated by photo id, deterministic order.
 std::vector<PhotoMeta> union_pool(const PhotoStore& a, const PhotoStore& b);
+
+/// Checkpoint serialization of a spray scheme's per-node counters (sorted
+/// by node id), shared by Spray&Wait and ModifiedSpray.
+void save_spray_counters(
+    persist::StateWriter& w,
+    const std::unordered_map<NodeId, SprayCounter>& counters);
+/// Restores the counters; fails (SnapshotError) on duplicate nodes or a
+/// counter whose configured L disagrees with `expected_copies` — that means
+/// the snapshot came from a differently parameterized scheme.
+void load_spray_counters(persist::StateReader& r,
+                         std::unordered_map<NodeId, SprayCounter>& counters,
+                         std::uint32_t expected_copies);
 
 }  // namespace photodtn

@@ -89,4 +89,13 @@ void ModifiedSprayScheme::on_contact(SimContext& ctx, ContactSession& session) {
   spray_direction(ctx, session, session.b(), session.a());
 }
 
+void ModifiedSprayScheme::save_persist_state(persist::StateWriter& w) const {
+  save_spray_counters(w, counters_);
+}
+
+void ModifiedSprayScheme::load_persist_state(persist::StateReader& r,
+                                             SimContext& /*ctx*/) {
+  load_spray_counters(r, counters_, copies_);
+}
+
 }  // namespace photodtn

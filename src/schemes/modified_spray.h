@@ -27,6 +27,10 @@ class ModifiedSprayScheme : public Scheme {
   void on_photo_taken(SimContext& ctx, NodeId node, const PhotoMeta& photo) override;
   void on_contact(SimContext& ctx, ContactSession& session) override;
 
+  /// Checkpoint/restore of the per-node spray counters.
+  void save_persist_state(persist::StateWriter& w) const override;
+  void load_persist_state(persist::StateReader& r, SimContext& ctx) override;
+
  private:
   SprayCounter& counter(NodeId node);
   void spray_direction(SimContext& ctx, ContactSession& session, NodeId src, NodeId dst);

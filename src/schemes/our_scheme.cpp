@@ -4,6 +4,7 @@
 #include <optional>
 #include <unordered_set>
 
+#include "persist/state_access.h"
 #include "schemes/common.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -449,6 +450,61 @@ bool OurScheme::realize_target(SimContext& ctx, ContactSession& session, NodeId 
     if (!session.transfer(id, peer, holder, /*keep_source=*/true)) return false;
   }
   return true;
+}
+
+void OurScheme::save_persist_state(persist::StateWriter& w) const {
+  using persist::StateAccess;
+  StateAccess::save(w, selector_);
+  StateAccess::save(w, last_totals_);
+  const auto cache_nodes = StateAccess::sorted_keys(caches_);
+  w.u64(cache_nodes.size());
+  for (const NodeId node : cache_nodes) {
+    w.i32(node);
+    StateAccess::save(w, caches_.at(node));
+  }
+  const auto engine_nodes = StateAccess::sorted_keys(engines_);
+  w.u64(engine_nodes.size());
+  for (const NodeId node : engine_nodes) {
+    const EngineState& es = engines_.at(node);
+    w.i32(node);
+    w.u64(es.last_rebuilds);
+    const auto owners = StateAccess::sorted_keys(es.loaded_revs);
+    w.u64(owners.size());
+    for (const NodeId owner : owners) {
+      w.i32(owner);
+      w.u64(es.loaded_revs.at(owner));
+    }
+    StateAccess::save(w, es.env);
+  }
+}
+
+void OurScheme::load_persist_state(persist::StateReader& r, SimContext& ctx) {
+  using persist::StateAccess;
+  StateAccess::load(r, selector_);
+  StateAccess::load(r, last_totals_);
+  const std::size_t ncaches = r.count(28);
+  caches_.clear();
+  for (std::size_t i = 0; i < ncaches; ++i) {
+    const NodeId node = r.i32();
+    if (caches_.count(node) != 0) r.fail("duplicate metadata-cache node");
+    StateAccess::load(r, cache(node));
+  }
+  const std::size_t nengines = r.count(28);
+  engines_.clear();
+  for (std::size_t i = 0; i < nengines; ++i) {
+    const NodeId node = r.i32();
+    if (engines_.count(node) != 0) r.fail("duplicate selection-engine node");
+    EngineState& es =
+        engines_.emplace(node, EngineState(ctx.model())).first->second;
+    es.last_rebuilds = r.u64();
+    const std::size_t owners = r.count(12);
+    for (std::size_t k = 0; k < owners; ++k) {
+      const NodeId owner = r.i32();
+      if (es.loaded_revs.count(owner) != 0) r.fail("duplicate engine revision");
+      es.loaded_revs[owner] = r.u64();
+    }
+    StateAccess::load(r, es.env);
+  }
 }
 
 }  // namespace photodtn

@@ -64,6 +64,12 @@ class OurScheme : public Scheme {
   /// node additionally loses its own cache and persistent engine.
   void on_node_down(SimContext& ctx, NodeId node, bool storage_wiped) override;
 
+  /// Checkpoint/restore of the scheme's run state: selector counters,
+  /// per-node metadata caches, and the persistent selection engines with
+  /// their revision bookkeeping (dtn/scheme.h for the contract).
+  void save_persist_state(persist::StateWriter& w) const override;
+  void load_persist_state(persist::StateReader& r, SimContext& ctx) override;
+
   /// Test access.
   const MetadataCache& cache_of(NodeId node) const;
 

@@ -56,4 +56,13 @@ void SprayAndWaitScheme::on_contact(SimContext& ctx, ContactSession& session) {
   spray_direction(ctx, session, session.b(), session.a());
 }
 
+void SprayAndWaitScheme::save_persist_state(persist::StateWriter& w) const {
+  save_spray_counters(w, counters_);
+}
+
+void SprayAndWaitScheme::load_persist_state(persist::StateReader& r,
+                                            SimContext& /*ctx*/) {
+  load_spray_counters(r, counters_, copies_);
+}
+
 }  // namespace photodtn

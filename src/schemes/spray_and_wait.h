@@ -22,6 +22,10 @@ class SprayAndWaitScheme : public Scheme {
   void on_photo_taken(SimContext& ctx, NodeId node, const PhotoMeta& photo) override;
   void on_contact(SimContext& ctx, ContactSession& session) override;
 
+  /// Checkpoint/restore of the per-node spray counters.
+  void save_persist_state(persist::StateWriter& w) const override;
+  void load_persist_state(persist::StateReader& r, SimContext& ctx) override;
+
  private:
   SprayCounter& counter(NodeId node);
   /// One direction of a participant contact: spray from `src` to `dst`.

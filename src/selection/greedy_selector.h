@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "coverage/coverage_model.h"
+#include "persist/fwd.h"
 #include "selection/expected_coverage.h"
 #include "selection/selection_env.h"
 
@@ -120,6 +121,10 @@ class GreedySelector {
   const SelectionStats& totals() const noexcept { return totals_; }
 
  private:
+  // Restore must set both counter sets: consumers diff totals() against a
+  // saved copy, and a zeroed side would make that diff wrap.
+  friend struct persist::StateAccess;
+
   std::vector<PhotoId> select_plain(std::span<const PhotoMeta> pool,
                                     std::span<const PhotoFootprint* const> fps,
                                     std::uint64_t capacity_bytes,

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "coverage/photo.h"
+#include "persist/fwd.h"
 
 namespace photodtn {
 
@@ -95,6 +96,8 @@ class MetadataCache {
   void audit() const;
 
  private:
+  friend struct persist::StateAccess;  // checkpoint/restore of entries + revision clock
+
   double p_thld_;
   std::uint64_t next_revision_ = 0;  // last revision issued; 0 = none yet
   std::unordered_map<NodeId, MetadataEntry> entries_;

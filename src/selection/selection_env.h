@@ -41,6 +41,7 @@
 
 #include "coverage/coverage_model.h"
 #include "coverage/coverage_value.h"
+#include "persist/fwd.h"
 #include "selection/expected_coverage.h"
 #include "selection/poi_cover.h"
 #include "util/thread_pool.h"
@@ -182,6 +183,11 @@ class SelectionEnvironment {
   void audit() const;
 
  private:
+  // Checkpoint/restore serializes the per-PoI cover lists *in list order*:
+  // refresh() folds miss products in that order, so preserving it keeps the
+  // rebuilt FP state bit-identical to the uninterrupted run's.
+  friend struct persist::StateAccess;
+
   struct Loaded {
     double delivery_prob = 0.0;
     std::vector<std::size_t> touched;  // PoIs this collection covers

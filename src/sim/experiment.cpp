@@ -1,5 +1,7 @@
 #include "sim/experiment.h"
 
+#include "persist/file_io.h"
+#include "persist/snapshot.h"
 #include "schemes/factory.h"
 #include "trace/trace_io.h"
 #include "util/check.h"
@@ -8,6 +10,11 @@
 namespace photodtn {
 
 SimResult run_single(const ExperimentSpec& spec, std::uint64_t seed) {
+  return run_single(spec, seed, RunPersistence{});
+}
+
+SimResult run_single(const ExperimentSpec& spec, std::uint64_t seed,
+                     const RunPersistence& persistence) {
   const ScenarioConfig& sc = spec.scenario;
 
   Rng root(seed);
@@ -38,6 +45,28 @@ SimResult run_single(const ExperimentSpec& spec, std::uint64_t seed) {
   if (scheme->wants_unlimited_bandwidth()) sim_cfg.unlimited_bandwidth = true;
 
   Simulator sim(model, trace, std::move(events), sim_cfg);
+
+  if (!persistence.restore_path.empty()) {
+    std::string snapshot;
+    if (!persist::read_file(persistence.restore_path, snapshot)) {
+      throw persist::SnapshotError("cannot read snapshot file '" +
+                                   persistence.restore_path + "'");
+    }
+    persist::restore(sim, *scheme, snapshot);
+  }
+  if (persistence.checkpoint_every > 0) {
+    PHOTODTN_CHECK_MSG(!persistence.checkpoint_path.empty(),
+                       "checkpoint_every needs a checkpoint_path");
+    sim.set_checkpoint_hook([&](std::uint64_t event) {
+      if (event == 0 || event % persistence.checkpoint_every != 0) return;
+      const std::string data = persist::checkpoint(sim, *scheme);
+      if (!persist::atomic_write_file(persistence.checkpoint_path, data)) {
+        // Continuing would mean the run silently loses its recovery points.
+        throw persist::SnapshotError("cannot write checkpoint '" +
+                                     persistence.checkpoint_path + "'");
+      }
+    });
+  }
   return sim.run(*scheme);
 }
 
@@ -52,7 +81,12 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, ThreadPool* pool) {
   pool->parallel_chunks(spec.runs, [&](std::size_t k) {
     results[k] = run_single(spec, spec.seed_base + k);
   });
+  return aggregate_results(spec, std::move(results));
+}
 
+ExperimentResult aggregate_results(const ExperimentSpec& spec,
+                                   std::vector<SimResult> results) {
+  PHOTODTN_CHECK(!results.empty());
   ExperimentResult out;
   out.scheme = spec.scheme;
   for (const SimResult& r : results) {

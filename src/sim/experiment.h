@@ -37,6 +37,24 @@ struct ExperimentSpec {
   std::string trace_file;
 };
 
+/// Checkpoint/restore policy for a single run (persist/snapshot.h).
+struct RunPersistence {
+  /// Snapshot every N event-loop iterations (0 = never checkpoint).
+  std::uint64_t checkpoint_every = 0;
+  /// Where periodic snapshots land, written crash-safely (write-to-temp,
+  /// rename) so a SIGKILL mid-write leaves the previous snapshot intact.
+  /// Required when checkpoint_every > 0.
+  std::string checkpoint_path;
+  /// When non-empty, restore this snapshot before running; the run resumes
+  /// from the checkpointed event and finishes byte-identically to an
+  /// uninterrupted run of the same spec and seed.
+  std::string restore_path;
+
+  bool enabled() const {
+    return checkpoint_every > 0 || !restore_path.empty();
+  }
+};
+
 struct ExperimentResult {
   std::string scheme;
   std::vector<double> sample_times;
@@ -66,6 +84,21 @@ struct ExperimentResult {
 
 /// One full simulation run; exposed so tests can drive single runs.
 SimResult run_single(const ExperimentSpec& spec, std::uint64_t seed);
+
+/// Same, with checkpoint/restore. Throws persist::SnapshotError when the
+/// restore file is unreadable, corrupt, or from a different scenario; exits
+/// non-zero paths are the caller's concern. A checkpoint that fails to
+/// write (ENOSPC, bad directory) aborts the run with SnapshotError rather
+/// than continuing silently un-checkpointed.
+SimResult run_single(const ExperimentSpec& spec, std::uint64_t seed,
+                     const RunPersistence& persistence);
+
+/// Folds per-seed results (in seed order) into the aggregate. Exposed so a
+/// checkpoint-resumed single run can be aggregated through the exact code
+/// path run_experiment uses — its JSON output is then byte-comparable to
+/// an uninterrupted --runs 1 experiment.
+ExperimentResult aggregate_results(const ExperimentSpec& spec,
+                                   std::vector<SimResult> results);
 
 /// Runs `spec.runs` seeds (seed_base, seed_base+1, ...) in parallel on
 /// `pool` (nullptr = the shared pool) and aggregates in seed order. Results

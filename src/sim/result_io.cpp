@@ -1,7 +1,6 @@
 #include "sim/result_io.h"
 
-#include <fstream>
-
+#include "persist/file_io.h"
 #include "util/json.h"
 
 namespace photodtn {
@@ -63,10 +62,7 @@ std::string comparison_to_json(std::span<const ExperimentResult> results) {
 
 bool write_comparison_json(const std::string& path,
                            std::span<const ExperimentResult> results) {
-  std::ofstream f(path);
-  if (!f) return false;
-  f << comparison_to_json(results) << '\n';
-  return static_cast<bool>(f);
+  return persist::checked_write_file(path, comparison_to_json(results) + "\n");
 }
 
 std::string metrics_to_json(std::span<const ExperimentResult> results) {
@@ -89,10 +85,7 @@ std::string metrics_to_json(std::span<const ExperimentResult> results) {
 
 bool write_metrics_json(const std::string& path,
                         std::span<const ExperimentResult> results) {
-  std::ofstream f(path);
-  if (!f) return false;
-  f << metrics_to_json(results) << '\n';
-  return static_cast<bool>(f);
+  return persist::checked_write_file(path, metrics_to_json(results) + "\n");
 }
 
 }  // namespace photodtn

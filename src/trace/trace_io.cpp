@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "persist/file_io.h"
+
 namespace photodtn {
 
 void write_trace(std::ostream& os, const ContactTrace& trace) {
@@ -16,10 +18,9 @@ void write_trace(std::ostream& os, const ContactTrace& trace) {
 }
 
 bool write_trace_file(const std::string& path, const ContactTrace& trace) {
-  std::ofstream f(path);
-  if (!f) return false;
-  write_trace(f, trace);
-  return static_cast<bool>(f);
+  std::ostringstream os;
+  write_trace(os, trace);
+  return persist::checked_write_file(path, os.str());
 }
 
 namespace {

@@ -8,6 +8,12 @@ Args Args::parse(int argc, const char* const* argv) {
   Args out;
   for (int i = 1; i < argc; ++i) {
     const std::string tok = argv[i];
+    if (tok.size() > 1 && tok[0] == '-' && tok.rfind("--", 0) != 0) {
+      // A single-dash token would otherwise pass as a positional and the
+      // intended option would silently keep its default.
+      throw std::runtime_error("unknown option '" + tok +
+                               "' (options are spelled --name)");
+    }
     if (tok.rfind("--", 0) == 0) {
       const std::string key = tok.substr(2);
       if (key.empty()) throw std::runtime_error("empty option name '--'");
@@ -37,24 +43,32 @@ std::int64_t Args::get_int(const std::string& key, std::int64_t fallback) const 
   queried_[key] = true;
   const auto it = options_.find(key);
   if (it == options_.end()) return fallback;
-  std::size_t pos = 0;
-  const long long v = std::stoll(it->second, &pos);
-  if (pos != it->second.size())
+  // stoll itself throws bare invalid_argument/out_of_range ("stoll") —
+  // useless in a CLI error; re-raise with the option name and value.
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing junk");
+    return v;
+  } catch (const std::exception&) {
     throw std::runtime_error("option --" + key + " expects an integer, got '" +
                              it->second + "'");
-  return v;
+  }
 }
 
 double Args::get_double(const std::string& key, double fallback) const {
   queried_[key] = true;
   const auto it = options_.find(key);
   if (it == options_.end()) return fallback;
-  std::size_t pos = 0;
-  const double v = std::stod(it->second, &pos);
-  if (pos != it->second.size())
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing junk");
+    return v;
+  } catch (const std::exception&) {
     throw std::runtime_error("option --" + key + " expects a number, got '" +
                              it->second + "'");
-  return v;
+  }
 }
 
 std::vector<std::string> Args::unused_keys() const {

@@ -1,8 +1,9 @@
 #include "util/json.h"
 
 #include <cmath>
-#include <fstream>
 #include <iomanip>
+
+#include "persist/file_io.h"
 
 namespace photodtn {
 
@@ -120,10 +121,7 @@ JsonWriter& JsonWriter::kv_array(const std::string& name,
 }
 
 bool JsonWriter::write_file(const std::string& path) const {
-  std::ofstream f(path);
-  if (!f) return false;
-  f << str() << '\n';
-  return static_cast<bool>(f);
+  return persist::checked_write_file(path, str() + "\n");
 }
 
 }  // namespace photodtn

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "persist/fwd.h"
+
 namespace photodtn {
 
 /// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
@@ -59,6 +61,8 @@ class Rng {
   }
 
  private:
+  friend struct persist::StateAccess;  // checkpoint/restore of the state words
+
   std::array<std::uint64_t, 4> state_{};
 };
 

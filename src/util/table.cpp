@@ -1,11 +1,11 @@
 #include "util/table.h"
 
 #include <algorithm>
-#include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 
+#include "persist/file_io.h"
 #include "util/check.h"
 
 namespace photodtn {
@@ -83,10 +83,9 @@ void Table::write_csv(std::ostream& os) const {
 }
 
 bool Table::write_csv_file(const std::string& path) const {
-  std::ofstream f(path);
-  if (!f) return false;
-  write_csv(f);
-  return static_cast<bool>(f);
+  std::ostringstream os;
+  write_csv(os);
+  return persist::checked_write_file(path, os.str());
 }
 
 }  // namespace photodtn

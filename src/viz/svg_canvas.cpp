@@ -1,10 +1,10 @@
 #include "viz/svg_canvas.h"
 
 #include <cmath>
-#include <fstream>
 #include <iomanip>
 
 #include "geometry/angle.h"
+#include "persist/file_io.h"
 #include "util/check.h"
 
 namespace photodtn {
@@ -120,10 +120,7 @@ std::string SvgCanvas::str() const {
 }
 
 bool SvgCanvas::write_file(const std::string& path) const {
-  std::ofstream f(path);
-  if (!f) return false;
-  f << str();
-  return static_cast<bool>(f);
+  return persist::checked_write_file(path, str());
 }
 
 }  // namespace photodtn

@@ -1,0 +1,137 @@
+// Unit tests for the snapshot codec (persist/codec.h): little-endian
+// layout, double bit-pattern round trips, bounds-checked reads, and the
+// allocation-bomb count guard.
+#include "persist/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace photodtn::persist {
+namespace {
+
+TEST(Codec, Crc32KnownVectors) {
+  // Standard zlib CRC-32 check values.
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"), 0x414fa339u);
+}
+
+TEST(Codec, RoundTripsEveryPrimitive) {
+  StateWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefULL);
+  w.i32(-7);
+  w.i64(-1234567890123LL);
+  w.f64(3.141592653589793);
+  w.boolean(true);
+  w.boolean(false);
+  w.str("hello");
+  w.str("");
+
+  StateReader r(w.bytes(), "test");
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i32(), -7);
+  EXPECT_EQ(r.i64(), -1234567890123LL);
+  EXPECT_EQ(r.f64(), 3.141592653589793);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.at_end());
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(Codec, LittleEndianLayout) {
+  StateWriter w;
+  w.u32(0x04030201u);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], '\x01');
+  EXPECT_EQ(w.bytes()[3], '\x04');
+}
+
+TEST(Codec, DoubleBitPatternsSurvive) {
+  const double values[] = {0.0, -0.0, 1e-300, -1e300,
+                           std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::denorm_min()};
+  StateWriter w;
+  for (const double v : values) w.f64(v);
+  w.f64(std::nan(""));
+  StateReader r(w.bytes(), "test");
+  for (const double v : values) EXPECT_EQ(r.f64(), v);
+  EXPECT_TRUE(std::isnan(r.f64()));
+  // -0.0 must round-trip as -0.0, not 0.0 (bit pattern, not value).
+  StateWriter w2;
+  w2.f64(-0.0);
+  StateReader r2(w2.bytes(), "test");
+  EXPECT_TRUE(std::signbit(r2.f64()));
+}
+
+TEST(Codec, TruncatedReadsThrowWithContext) {
+  StateWriter w;
+  w.u32(7);
+  StateReader r(std::string_view(w.bytes()).substr(0, 2), "my section");
+  try {
+    r.u32();
+    FAIL() << "truncated read was accepted";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("my section"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+}
+
+TEST(Codec, StringLengthIsBoundsChecked) {
+  StateWriter w;
+  w.u32(1000);  // claims 1000 bytes follow
+  w.raw("abc");
+  StateReader r(w.bytes(), "test");
+  EXPECT_THROW(r.str(), SnapshotError);
+}
+
+TEST(Codec, ExpectEndRejectsTrailingBytes) {
+  StateWriter w;
+  w.u8(1);
+  w.u8(2);
+  StateReader r(w.bytes(), "test");
+  r.u8();
+  EXPECT_THROW(r.expect_end(), SnapshotError);
+}
+
+TEST(Codec, CountGuardsAgainstAllocationBombs) {
+  StateWriter w;
+  w.u64(std::numeric_limits<std::uint64_t>::max());
+  StateReader r(w.bytes(), "test");
+  // Claims ~2^64 elements of >= 8 bytes with zero bytes remaining.
+  EXPECT_THROW(r.count(8), SnapshotError);
+
+  StateWriter ok;
+  ok.u64(2);
+  ok.u64(10);
+  ok.u64(20);
+  StateReader r2(ok.bytes(), "test");
+  EXPECT_EQ(r2.count(8), 2u);
+  EXPECT_EQ(r2.u64(), 10u);
+  EXPECT_EQ(r2.u64(), 20u);
+}
+
+TEST(Codec, FailReportsContextAndOffset) {
+  StateReader r("abcd", "NODE section");
+  try {
+    r.fail("bad things");
+    FAIL();
+  } catch (const SnapshotError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("NODE section"), std::string::npos);
+    EXPECT_NE(what.find("bad things"), std::string::npos);
+    EXPECT_NE(what.find("offset 0"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace photodtn::persist

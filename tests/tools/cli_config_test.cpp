@@ -88,5 +88,53 @@ TEST(CliConfig, UnknownOptionRejected) {
   EXPECT_THROW(reject_unknown_options(a), std::runtime_error);
 }
 
+TEST(CliConfig, StrayPositionalsRejected) {
+  const Args a = parse({"simulate", "oops.json"});
+  try {
+    reject_stray_positionals(a, 0);
+    FAIL() << "stray positional was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("oops.json"), std::string::npos);
+  }
+  EXPECT_NO_THROW(reject_stray_positionals(parse({"simulate"}), 0));
+  EXPECT_NO_THROW(reject_stray_positionals(parse({"trace-stats", "t.csv"}), 1));
+}
+
+TEST(CliConfig, PersistenceFlagsValidated) {
+  // Disabled when no flag is given.
+  EXPECT_FALSE(persistence_from(parse({"simulate"}), 1, 1).enabled());
+  // Both checkpoint flags together, exactly one run and one scheme: ok.
+  {
+    const RunPersistence p = persistence_from(
+        parse({"simulate", "--checkpoint-every", "500", "--checkpoint-out",
+               "s.snap"}),
+        1, 1);
+    EXPECT_TRUE(p.enabled());
+    EXPECT_EQ(p.checkpoint_every, 500u);
+    EXPECT_EQ(p.checkpoint_path, "s.snap");
+  }
+  // Restore alone is a valid persistence mode.
+  EXPECT_TRUE(
+      persistence_from(parse({"simulate", "--restore-from", "s.snap"}), 1, 1)
+          .enabled());
+  // Each checkpoint flag requires the other.
+  EXPECT_THROW(
+      persistence_from(parse({"simulate", "--checkpoint-every", "500"}), 1, 1),
+      std::runtime_error);
+  EXPECT_THROW(
+      persistence_from(parse({"simulate", "--checkpoint-out", "s.snap"}), 1, 1),
+      std::runtime_error);
+  // Negative interval.
+  EXPECT_THROW(persistence_from(parse({"simulate", "--checkpoint-every", "-5",
+                                       "--checkpoint-out", "s.snap"}),
+                                1, 1),
+               std::runtime_error);
+  // Persistence is single-run, single-scheme only.
+  const Args multi = parse({"simulate", "--checkpoint-every", "500",
+                            "--checkpoint-out", "s.snap"});
+  EXPECT_THROW(persistence_from(multi, 3, 1), std::runtime_error);
+  EXPECT_THROW(persistence_from(multi, 1, 2), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace photodtn::cli

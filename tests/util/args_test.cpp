@@ -68,5 +68,50 @@ TEST(Args, NoArguments) {
   EXPECT_TRUE(a.positionals().empty());
 }
 
+TEST(Args, SingleDashOptionsRejected) {
+  // Options are spelled --name; a single-dash token is a typo, not a
+  // positional, and must fail parsing rather than ride along silently.
+  EXPECT_THROW(parse({"simulate", "-runs", "3"}), std::runtime_error);
+  EXPECT_THROW(parse({"simulate", "-h"}), std::runtime_error);
+  try {
+    parse({"simulate", "-x"});
+    FAIL() << "single-dash option was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("-x"), std::string::npos);
+  }
+}
+
+TEST(Args, LoneDashIsAPositional) {
+  // A bare "-" conventionally means stdin/stdout; keep it as a positional.
+  const Args a = parse({"cmd", "-"});
+  ASSERT_EQ(a.positionals().size(), 1u);
+  EXPECT_EQ(a.positionals()[0], "-");
+}
+
+TEST(Args, MalformedValuesNameTheOption) {
+  const Args a = parse({"simulate", "--runs", "1x", "--scale", "zero"});
+  try {
+    (void)a.get_int("runs", 1);
+    FAIL() << "trailing junk accepted as integer";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--runs"), std::string::npos);
+    EXPECT_NE(what.find("1x"), std::string::npos);
+  }
+  try {
+    (void)a.get_double("scale", 1.0);
+    FAIL() << "non-numeric accepted as double";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--scale"), std::string::npos);
+    EXPECT_NE(what.find("zero"), std::string::npos);
+  }
+}
+
+TEST(Args, IntegerOverflowRejected) {
+  const Args a = parse({"simulate", "--runs", "99999999999999999999999999"});
+  EXPECT_THROW(a.get_int("runs", 1), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace photodtn

@@ -36,6 +36,16 @@ stable, diff-friendly JSON artifacts at the repo root:
                           the prior clean run in the *same session*, and
                           when given that same-session number drives the
                           gate.
+  BENCH_persist.json    - the checkpointing pair: the e2e run snapshotting
+                          every 500 events vs the clean one
+                          (persist_enabled_vs_clean, advisory — the enabled
+                          path serializes and atomically replaces a file),
+                          and the *disabled* cost, which is the gate: with
+                          no --checkpoint-every, persistence is one
+                          unset-hook test per event, so the clean e2e drift
+                          vs the prior clean median must stay < 2%
+                          (clamped, same --prior-binary preference as the
+                          obs gate).
 
 Every run also appends one line to BENCH_history.jsonl (git sha, UTC date,
 all medians, all derived numbers) — an append-only perf trajectory that
@@ -66,10 +76,11 @@ SELECTION_FILTER = (
     "BM_SelectionEnvBuild|BM_SelectionEnvReconcile|BM_GreedySelectEnv"
 )
 E2E_EXTRA_FILTER = "BM_ExperimentSweep"
-FAULTS_FILTER = "BM_OurSchemeE2E(_Faults|_Obs)?$"
+FAULTS_FILTER = "BM_OurSchemeE2E(_Faults|_Obs|_Ckpt)?$"
 E2E_CLEAN = "BM_OurSchemeE2E"
 E2E_FAULTED = "BM_OurSchemeE2E_Faults"
 E2E_OBS = "BM_OurSchemeE2E_Obs"
+E2E_CKPT = "BM_OurSchemeE2E_Ckpt"
 CELF_BENCH = "BM_GreedyGainCelf/250/256"
 # Fault-layer overhead on a clean run (new clean median vs the previously
 # committed one): tracked, target < 5%. The gate checks the clamped
@@ -81,6 +92,10 @@ FAULT_OVERHEAD_TARGET = 0.05
 # site reduced to a null/branch test) vs the previously committed clean
 # median. Advisory under --check for the same runner-noise reason.
 OBS_OVERHEAD_TARGET = 0.02
+# Checkpointing-disabled overhead budget: with no --checkpoint-every, the
+# persist layer is one unset-hook test per event-loop iteration, so the
+# clean e2e run must not drift more than 2% vs its pre-persist prior.
+PERSIST_OVERHEAD_TARGET = 0.02
 
 # The tentpole target: the production gain sweep (batched SoA kernels +
 # bucket-LUT segment lookup) vs the legacy per-segment scan at 64 PoIs /
@@ -359,6 +374,35 @@ def main() -> int:
     }
     write_report(args.out_dir / "BENCH_obs.json", obs_report)
 
+    # Checkpointing pair: what snapshotting every 500 events costs when it
+    # is *on* (advisory — real serialization + an atomic file replace), and
+    # when it is *off* (the gate: the clean run vs the prior clean run is
+    # exactly the disabled-persistence residue, one unset-hook test per
+    # event). Same drift caveats and --prior-binary preference as above.
+    ckpt_on = e2e_all.get(E2E_CKPT)
+    persist_enabled_vs_clean = (
+        ckpt_on["median_ns"] / clean["median_ns"]
+        if clean and ckpt_on and clean["median_ns"] > 0
+        else None
+    )
+    persist_report = {
+        "schema": "photodtn-bench/1",
+        "git_sha": sha,
+        "benchmarks": {
+            k: v for k, v in e2e_all.items() if k in (E2E_CLEAN, E2E_CKPT)
+        },
+        "derived": {
+            "persist_enabled_vs_clean": persist_enabled_vs_clean,
+            "persist_disabled_delta_vs_prior": clean_delta,
+            "persist_disabled_delta_same_session": same_session_delta,
+            "persist_disabled_overhead": gate_overhead,
+            "persist_overhead_target": PERSIST_OVERHEAD_TARGET,
+            "meets_persist_overhead_target": gate_overhead is not None
+            and gate_overhead < PERSIST_OVERHEAD_TARGET,
+        },
+    }
+    write_report(args.out_dir / "BENCH_persist.json", persist_report)
+
     append_history(
         args.out_dir,
         sha,
@@ -367,6 +411,7 @@ def main() -> int:
             "e2e": e2e_report,
             "faults": faults_report,
             "obs": obs_report,
+            "persist": persist_report,
         },
     )
 
@@ -386,6 +431,10 @@ def main() -> int:
         print(f"obs-enabled e2e vs clean: {obs_enabled_vs_clean:.3f}x "
               f"(obs-disabled gate < {100.0 * OBS_OVERHEAD_TARGET:.0f}% "
               f"drift, advisory)")
+    if persist_enabled_vs_clean is not None:
+        print(f"checkpointing e2e vs clean: {persist_enabled_vs_clean:.3f}x "
+              f"(persist-disabled gate < "
+              f"{100.0 * PERSIST_OVERHEAD_TARGET:.0f}% drift, advisory)")
     if same_session_delta is not None:
         print(f"obs-disabled drift vs prior binary (same session): "
               f"{100.0 * same_session_delta:+.1f}% "

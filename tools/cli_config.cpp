@@ -82,9 +82,35 @@ std::vector<std::string> schemes_from(const Args& args) {
   return schemes;
 }
 
+RunPersistence persistence_from(const Args& args, std::size_t runs,
+                                std::size_t num_schemes) {
+  RunPersistence p;
+  const std::int64_t every = args.get_int("checkpoint-every", 0);
+  if (every < 0)
+    throw std::runtime_error("--checkpoint-every must be >= 0 events");
+  p.checkpoint_every = static_cast<std::uint64_t>(every);
+  p.checkpoint_path = args.get("checkpoint-out", "");
+  p.restore_path = args.get("restore-from", "");
+  if (p.checkpoint_every > 0 && p.checkpoint_path.empty())
+    throw std::runtime_error("--checkpoint-every requires --checkpoint-out FILE");
+  if (p.checkpoint_every == 0 && !p.checkpoint_path.empty())
+    throw std::runtime_error("--checkpoint-out requires --checkpoint-every N");
+  if (p.enabled() && (runs != 1 || num_schemes != 1))
+    throw std::runtime_error(
+        "checkpoint/restore works on exactly one run: use --runs 1 and a "
+        "single --scheme");
+  return p;
+}
+
 void reject_unknown_options(const Args& args) {
   if (const auto unused = args.unused_keys(); !unused.empty())
     throw std::runtime_error("unknown option --" + unused.front());
+}
+
+void reject_stray_positionals(const Args& args, std::size_t expected) {
+  if (args.positionals().size() > expected)
+    throw std::runtime_error("unexpected argument '" +
+                             args.positionals()[expected] + "'");
 }
 
 }  // namespace photodtn::cli

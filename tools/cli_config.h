@@ -22,7 +22,18 @@ ExperimentSpec spec_from(const Args& args);
 /// Parses the --scheme comma list (default "OurScheme,Spray&Wait").
 std::vector<std::string> schemes_from(const Args& args);
 
+/// Parses --checkpoint-every/--checkpoint-out/--restore-from. Validates the
+/// combination: an interval needs an output path, and either direction of
+/// persistence is limited to --runs 1 with a single scheme (a snapshot
+/// captures exactly one run).
+RunPersistence persistence_from(const Args& args, std::size_t runs,
+                                std::size_t num_schemes);
+
 /// Throws if any provided option was never consumed (typo protection).
 void reject_unknown_options(const Args& args);
+
+/// Throws when the command received more bare (non-option) arguments than
+/// it takes — a stray positional is usually a mistyped option value.
+void reject_stray_positionals(const Args& args, std::size_t expected);
 
 }  // namespace photodtn::cli

@@ -23,6 +23,11 @@ that have bitten floating-point/simulation codebases like this one:
                       proving each header is self-contained.
   using-namespace     `using namespace` at namespace scope in a header leaks
                       into every includer.
+  raw-file-write      std::ofstream / fwrite / fopen in src/ (outside
+                      src/persist/) — artifact writes route through
+                      persist::checked_write_file / atomic_write_file
+                      (persist/file_io.h) so open/write/flush errors surface
+                      instead of silently truncating on ENOSPC.
 
 Determinism rules (ordering hazards that parallel simulators hit — each
 suppression REQUIRES a justification, see below):
@@ -155,6 +160,15 @@ LINE_RULES = [
         "canonically ordered range or ThreadPool::parallel_reduce",
         False,
         (),
+    ),
+    (
+        "raw-file-write",
+        re.compile(r"(?<![\w:])(?:std::)?(?:ofstream\b|fwrite\s*\(|fopen\s*\()"),
+        "raw file write; route artifacts through persist::checked_write_file "
+        "or atomic_write_file (persist/file_io.h) so open/write/flush errors "
+        "surface instead of silently truncating on ENOSPC",
+        False,
+        ("src/persist/", "tools/", "bench/", "examples/"),
     ),
 ]
 

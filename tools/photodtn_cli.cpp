@@ -7,7 +7,13 @@
 //                [--fault-interrupt P] [--fault-crash-rate R]
 //                [--fault-gossip-loss P] [--metrics-out FILE]
 //                [--trace-out FILE]
+//                [--checkpoint-every N --checkpoint-out FILE]
+//                [--restore-from FILE]
 //       Run trace-driven simulations and print the coverage results.
+//       --checkpoint-every writes a crash-safe snapshot to --checkpoint-out
+//       every N simulator events; --restore-from resumes a snapshotted run
+//       and finishes byte-identically to the uninterrupted one. Both are
+//       limited to --runs 1 with a single --scheme.
 //       --metrics-out writes the merged metrics registry snapshots as JSON;
 //       --trace-out writes run 0 of the first scheme as a Chrome trace
 //       (chrome://tracing / Perfetto). Either flag switches the obs layer on
@@ -60,7 +66,10 @@ int cmd_simulate(const Args& args) {
   const std::string json = args.get("json", "");
   const std::string metrics_out = args.get("metrics-out", "");
   const std::string trace_out = args.get("trace-out", "");
+  const RunPersistence persistence =
+      cli::persistence_from(args, spec.runs, schemes.size());
   cli::reject_unknown_options(args);
+  cli::reject_stray_positionals(args, 0);
   if (!metrics_out.empty()) spec.scenario.sim.obs.metrics = true;
   if (!trace_out.empty()) {
     spec.scenario.sim.obs.metrics = true;
@@ -78,7 +87,15 @@ int cmd_simulate(const Args& args) {
   std::vector<ExperimentResult> results;
   for (const std::string& name : schemes) {
     spec.scheme = name;
-    results.push_back(run_experiment(spec));
+    if (persistence.enabled()) {
+      // One checkpointed/resumed run, folded through the same aggregation
+      // as run_experiment so the output stays byte-comparable.
+      std::vector<SimResult> single;
+      single.push_back(run_single(spec, spec.seed_base, persistence));
+      results.push_back(aggregate_results(spec, std::move(single)));
+    } else {
+      results.push_back(run_experiment(spec));
+    }
     const ExperimentResult& r = results.back();
     table.add_row({name, r.final_point.mean(), r.final_aspect.mean(),
                    r.final_delivered.mean(), r.final_point.ci95_half_width()});
@@ -121,6 +138,7 @@ int cmd_trace_gen(const Args& args) {
   if (out.empty()) throw std::runtime_error("trace-gen requires --out FILE");
   const ScenarioConfig sc = cli::scenario_from(args);
   cli::reject_unknown_options(args);
+  cli::reject_stray_positionals(args, 0);
   const ContactTrace trace = generate_synthetic_trace(sc.trace);
   if (!write_trace_file(out, trace))
     throw std::runtime_error("cannot write trace to " + out);
@@ -134,6 +152,8 @@ int cmd_trace_gen(const Args& args) {
 int cmd_trace_stats(const Args& args) {
   if (args.positionals().empty())
     throw std::runtime_error("trace-stats requires a trace file argument");
+  cli::reject_unknown_options(args);
+  cli::reject_stray_positionals(args, 1);
   const ContactTrace trace = read_trace_file(args.positionals().front());
   const TraceStats s = trace.stats();
   const InterContactDiagnostics d = inter_contact_diagnostics(trace);
@@ -158,7 +178,9 @@ int cmd_trace_stats(const Args& args) {
   return 0;
 }
 
-int cmd_schemes() {
+int cmd_schemes(const Args& args) {
+  cli::reject_unknown_options(args);
+  cli::reject_stray_positionals(args, 0);
   for (const char* n :
        {"OurScheme", "NoMetadata", "Spray&Wait", "ModifiedSpray", "PhotoNet",
         "BestPossible", "Epidemic", "PROPHET"})
@@ -174,7 +196,7 @@ int main(int argc, char** argv) {
     if (args.command() == "simulate") return cmd_simulate(args);
     if (args.command() == "trace-gen") return cmd_trace_gen(args);
     if (args.command() == "trace-stats") return cmd_trace_stats(args);
-    if (args.command() == "schemes") return cmd_schemes();
+    if (args.command() == "schemes") return cmd_schemes(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "photodtn_cli: %s\n", e.what());
